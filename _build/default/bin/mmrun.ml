@@ -1,0 +1,81 @@
+(* mmrun — compile and execute an M3L program on the UVM.
+
+     mmrun file.m3l
+     mmrun -O --heap 4096 --collector conservative file.m3l
+     mmrun --gc-stats file.m3l *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file optimize checks heap stack collector gc_stats fuel =
+  let options =
+    {
+      Driver.Compile.default_options with
+      optimize;
+      checks;
+      heap_words = heap;
+      stack_words = stack;
+    }
+  in
+  let collector =
+    match collector with
+    | "precise" -> Driver.Compile.Precise
+    | "conservative" -> Driver.Compile.Conservative
+    | "none" -> Driver.Compile.No_gc
+    | other -> failwith ("unknown collector " ^ other)
+  in
+  try
+    let r = Driver.Compile.run_source ~options ~collector ~fuel (read_file file) in
+    print_string r.Driver.Compile.output;
+    if gc_stats then begin
+      Printf.eprintf "instructions : %d\n" r.Driver.Compile.instructions;
+      Printf.eprintf "allocations  : %d (%d words)\n" r.Driver.Compile.allocations
+        r.Driver.Compile.alloc_words;
+      Printf.eprintf "collections  : %d\n" r.Driver.Compile.collections;
+      Printf.eprintf "words copied : %d\n" r.Driver.Compile.gc.Vm.Interp.words_copied;
+      Printf.eprintf "frames traced: %d\n" r.Driver.Compile.gc.Vm.Interp.frames_traced;
+      Printf.eprintf "gc time      : %.0f us (stack tracing %.0f us)\n"
+        (Int64.to_float r.Driver.Compile.gc.Vm.Interp.total_gc_ns /. 1e3)
+        (Int64.to_float r.Driver.Compile.gc.Vm.Interp.trace_ns /. 1e3)
+    end;
+    `Ok ()
+  with
+  | M3l.M3l_error.Lex_error (loc, m) ->
+      `Error (false, Printf.sprintf "%s: lexical error: %s" (M3l.Srcloc.to_string loc) m)
+  | M3l.M3l_error.Parse_error (loc, m) ->
+      `Error (false, Printf.sprintf "%s: parse error: %s" (M3l.Srcloc.to_string loc) m)
+  | M3l.M3l_error.Type_error (loc, m) ->
+      `Error (false, Printf.sprintf "%s: type error: %s" (M3l.Srcloc.to_string loc) m)
+  | Vm.Interp.Guest_error m -> `Error (false, "runtime error: " ^ m)
+  | Vm.Vm_error.Error m -> `Error (false, "vm error: " ^ m)
+  | Sys_error m -> `Error (false, m)
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let optimize = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the optimizer.")
+let checks = Arg.(value & opt bool true & info [ "checks" ] ~doc:"NIL/bounds checks.")
+let heap =
+  Arg.(value & opt int 65536 & info [ "heap" ] ~doc:"Words per semispace.")
+let stack = Arg.(value & opt int 16384 & info [ "stack" ] ~doc:"Stack words.")
+let collector =
+  Arg.(
+    value
+    & opt string "precise"
+    & info [ "collector" ] ~doc:"precise | conservative | none.")
+let gc_stats = Arg.(value & flag & info [ "gc-stats" ] ~doc:"Report gc statistics.")
+let fuel =
+  Arg.(value & opt int 1_000_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
+
+let cmd =
+  let doc = "run M3L programs under the table-driven compacting collector" in
+  Cmd.v
+    (Cmd.info "mmrun" ~doc)
+    Term.(
+      ret (const run $ file $ optimize $ checks $ heap $ stack $ collector $ gc_stats $ fuel))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/compaction.ml: Driver Gc Printf Vm

@@ -1,0 +1,1 @@
+examples/interior_pointers.ml: Array Driver Format Gcmaps List Printf String Vm

@@ -1,0 +1,1 @@
+examples/interior_pointers.mli:

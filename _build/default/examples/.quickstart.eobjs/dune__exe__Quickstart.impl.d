@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Driver Gcmaps Printf Vm

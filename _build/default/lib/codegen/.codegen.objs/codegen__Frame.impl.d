@@ -1,0 +1,1 @@
+lib/codegen/frame.ml: Array List Mir

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Array Bitset Frame Gcmaps List Machine Mir Support

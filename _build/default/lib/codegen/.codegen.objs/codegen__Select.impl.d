@@ -1,0 +1,1 @@
+lib/codegen/select.ml: Array Bitset Frame Gcmaps Growarr List Machine Mir Option Regalloc Support

@@ -1,0 +1,1 @@
+lib/codegen/select.mli: Frame Gcmaps Machine Mir

@@ -1,0 +1,26 @@
+(** Linear-scan register allocation over MIR temps.
+
+    Constraints relevant to gc support:
+    - a temp live across a call to a user procedure must be placed in a
+      callee-saved register or spilled (user calls clobber caller-saved
+      registers);
+    - runtime calls preserve all registers (the collector updates any
+      register holding a pointer through the register-pointers table), so
+      caller-saved registers may stay live across them;
+    - the bases of a derivation passed as an outgoing argument are forced
+      live across that call (the paper's dead-base rule applied to
+      call-by-reference: the argument slot is live for the whole call, so
+      its bases must be too). *)
+
+type assignment = Areg of int | Aspill of int
+
+type t = {
+  assign : assignment array; (* per temp *)
+  nspills : int;
+  used_callee_saved : int list; (* in save order *)
+}
+
+val allocate : Mir.Ir.func -> Mir.Liveness.t -> t
+
+val loc_of_temp : t -> Frame.t -> int -> Gcmaps.Loc.t
+(** Location of a temp after allocation (register or FP-relative spill). *)

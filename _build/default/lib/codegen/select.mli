@@ -1,0 +1,51 @@
+(** Instruction selection: MIR → UVM machine code, one function at a time.
+
+    Besides translating instructions, this pass:
+
+    - records, at every call that is a gc-point, the raw gc information
+      (live tidy stack pointers, live pointer registers, live derivations
+      with their located bases) that {!Gcmaps.Encode} later serializes — the
+      compiler-side half of the paper's contribution;
+
+    - applies (or, with [gc_restrict] set, suppresses) the folding of
+      single-use intermediate loads into deferred addressing modes. With
+      restrictions on, an intermediate reference that serves as a derivation
+      base is kept in a register or stack slot so the derivation refers to a
+      compile-time-known location (paper §4, "indirect references"; §6.2
+      measures the instructions this adds). *)
+
+type options = {
+  gc_restrict : bool; (* default true; false reproduces "without gc restrictions" *)
+  noalloc : int -> bool; (* user procedures proven never to allocate *)
+}
+
+val default_options : options
+
+(** A gc-point whose byte offset is not yet known (filled at image layout). *)
+type raw_gcpoint = {
+  rg_item : int; (* index of the Call in the emitted code items *)
+  rg_stack_ptrs : Gcmaps.Loc.t list;
+  rg_reg_ptrs : int list;
+  rg_derivs : Gcmaps.Rawmaps.deriv_entry list;
+  rg_variants : Gcmaps.Rawmaps.variant list;
+}
+
+type out_func = {
+  of_fid : int;
+  of_name : string;
+  of_code : Machine.Insn.t array; (* branch targets resolved to item indices *)
+  of_frame : Frame.t;
+  of_gcpoints : raw_gcpoint list; (* in code order *)
+  of_folds_suppressed : int; (* §6.2: folds blocked by gc restrictions *)
+  of_folds_applied : int;
+}
+
+val func :
+  prog:Mir.Ir.program ->
+  options ->
+  ?global_addr:(int -> int) ->
+  ?text_addr:(int -> int) ->
+  Mir.Ir.func ->
+  out_func
+(** [global_addr] and [text_addr] map global/text indices to absolute word
+    addresses; they must be supplied by the image layout before selection. *)

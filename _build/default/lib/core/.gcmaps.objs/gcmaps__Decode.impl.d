@@ -1,0 +1,1 @@
+lib/core/decode.ml: Array Bitset Bytes Char Encode List Loc Rawmaps Support Varint

@@ -1,0 +1,1 @@
+lib/core/decode.mli: Encode Loc Rawmaps

@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Bitset Buffer Bytes Char Format List Loc Rawmaps Set Support Varint

@@ -1,0 +1,1 @@
+lib/core/encode.mli: Bytes Format Loc Rawmaps Support

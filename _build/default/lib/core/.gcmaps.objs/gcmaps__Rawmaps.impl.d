@@ -1,0 +1,1 @@
+lib/core/rawmaps.ml: Array Format List Loc Printf String

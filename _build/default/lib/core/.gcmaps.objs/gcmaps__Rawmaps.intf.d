@@ -1,0 +1,1 @@
+lib/core/rawmaps.mli: Format Loc

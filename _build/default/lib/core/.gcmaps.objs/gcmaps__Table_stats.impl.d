@@ -1,0 +1,1 @@
+lib/core/table_stats.ml: Array Bytes Encode List Rawmaps

@@ -1,0 +1,1 @@
+lib/core/table_stats.mli: Encode Rawmaps

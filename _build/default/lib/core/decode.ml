@@ -1,0 +1,223 @@
+(** Decoding of gc tables at collection time. The collector maps a return
+    address (code byte offset) to its gc-point by locating the enclosing
+    procedure and scanning that procedure's table stream, accumulating the
+    inter-gc-point distances — the paper's pc→table mapping (§5.2). *)
+
+open Support
+
+type reader = { data : Bytes.t; mutable pos : int; packed : bool }
+
+let make_reader ~packed data = { data; pos = 0; packed }
+
+let get_word r =
+  let b i = Char.code (Bytes.get r.data (r.pos + i)) in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  (* sign-extend from 32 bits *)
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let get_int r =
+  if r.packed then begin
+    let v, pos = Varint.decode r.data r.pos in
+    r.pos <- pos;
+    v
+  end
+  else get_word r
+
+let get_descriptor r =
+  if r.packed then begin
+    let v = Char.code (Bytes.get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    v
+  end
+  else get_word r
+
+let get_pc_delta r =
+  if r.packed then begin
+    let hi = Char.code (Bytes.get r.data r.pos) in
+    let lo = Char.code (Bytes.get r.data (r.pos + 1)) in
+    r.pos <- r.pos + 2;
+    (hi lsl 8) lor lo
+  end
+  else get_word r
+
+let get_bitmap r ~width =
+  if r.packed then begin
+    let bits, pos = Bitset.of_bytes ~width r.data r.pos in
+    r.pos <- pos;
+    bits
+  end
+  else begin
+    let nwords = (width + 31) / 32 in
+    let bits = Bitset.create width in
+    for wd = 0 to nwords - 1 do
+      let v = get_word r in
+      for i = 0 to 31 do
+        let idx = (32 * wd) + i in
+        if idx < width && v land (1 lsl i) <> 0 then Bitset.set bits idx
+      done
+    done;
+    bits
+  end
+
+let get_loc r = Loc.of_int (get_int r)
+
+let get_deriv_entry r : Rawmaps.deriv_entry =
+  let target = get_loc r in
+  let np = get_int r in
+  let plus = List.init np (fun _ -> get_loc r) in
+  let nm = get_int r in
+  let minus = List.init nm (fun _ -> get_loc r) in
+  { Rawmaps.target; plus; minus }
+
+let get_derivs r =
+  let n = get_int r in
+  List.init n (fun _ -> get_deriv_entry r)
+
+let get_variants r : Rawmaps.variant list =
+  let n = get_int r in
+  List.init n (fun _ ->
+      let path_loc = get_loc r in
+      let ncases = get_int r in
+      let cases =
+        List.init ncases (fun _ ->
+            let value = get_int r in
+            let d = get_deriv_entry r in
+            (value, d))
+      in
+      { Rawmaps.path_loc; cases })
+
+let get_reg_list r =
+  let mask = get_int r in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc) in
+  go 62 []
+
+(* ------------------------------------------------------------------ *)
+(* Procedure streams                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type decoded_proc = {
+  dp_frame_size : int;
+  dp_nargs : int;
+  dp_saves : (int * int) list;
+  dp_ground : Loc.t array; (* empty under Full_info *)
+}
+
+let decode_proc_header (scheme : Encode.scheme) r : decoded_proc * int =
+  let frame_size = get_int r in
+  let nargs = get_int r in
+  let nsaves = get_int r in
+  let saves =
+    List.init nsaves (fun _ ->
+        let reg = get_int r in
+        let off = get_int r in
+        (reg, off))
+  in
+  let ground =
+    match scheme with
+    | Encode.Delta_main ->
+        let n = get_int r in
+        Array.init n (fun _ -> get_loc r)
+    | Encode.Full_info -> [||]
+  in
+  let ngc = get_int r in
+  ({ dp_frame_size = frame_size; dp_nargs = nargs; dp_saves = saves; dp_ground = ground }, ngc)
+
+(* Scan state while walking the gc-points of one procedure. *)
+type scan_state = {
+  mutable offset : int;
+  mutable stack : Loc.t list;
+  mutable regs : int list;
+  mutable derivs : Rawmaps.deriv_entry list;
+}
+
+let decode_next_gcpoint scheme r (dp : decoded_proc) (st : scan_state) : Rawmaps.gcpoint =
+  let desc = get_descriptor r in
+  let delta = get_pc_delta r in
+  st.offset <- st.offset + delta;
+  let field shift = (desc lsr shift) land 3 in
+  let stack =
+    match field Encode.desc_stack_shift with
+    | 0 -> []
+    | 1 -> st.stack
+    | _ -> (
+        match scheme with
+        | Encode.Delta_main ->
+            let bits = get_bitmap r ~width:(Array.length dp.dp_ground) in
+            Bitset.fold (fun i acc -> dp.dp_ground.(i) :: acc) bits [] |> List.rev
+        | Encode.Full_info ->
+            let n = get_int r in
+            List.init n (fun _ -> get_loc r))
+  in
+  let regs =
+    match field Encode.desc_reg_shift with
+    | 0 -> []
+    | 1 -> st.regs
+    | _ -> get_reg_list r
+  in
+  let derivs =
+    match field Encode.desc_deriv_shift with
+    | 0 -> []
+    | 1 -> st.derivs
+    | _ -> get_derivs r
+  in
+  let variants =
+    if desc land (1 lsl Encode.desc_variant_bit) <> 0 then get_variants r else []
+  in
+  st.stack <- stack;
+  st.regs <- regs;
+  st.derivs <- derivs;
+  {
+    Rawmaps.gp_index = -1;
+    gp_offset = st.offset;
+    stack_ptrs = stack;
+    reg_ptrs = regs;
+    derivs;
+    variants;
+  }
+
+(** Decode a whole procedure stream back into raw maps (used by tests for
+    the encode/decode round-trip, and by the full-table dump). *)
+let decode_proc (scheme : Encode.scheme) (opts : Encode.options)
+    (ep : Encode.encoded_proc) : decoded_proc * Rawmaps.gcpoint list =
+  let r = make_reader ~packed:opts.Encode.packing ep.Encode.ep_stream in
+  let dp, ngc = decode_proc_header scheme r in
+  let st = { offset = 0; stack = []; regs = []; derivs = [] } in
+  let gps = List.init ngc (fun _ -> decode_next_gcpoint scheme r dp st) in
+  (dp, gps)
+
+(* ------------------------------------------------------------------ *)
+(* Return-address lookup                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [find t ~code_offset] locates the gc tables for the gc-point whose call
+    instruction starts at absolute [code_offset]. Returns the procedure's
+    decoded header (frame size, saves, ground) and the gc-point's tables.
+    @raise Not_found if [code_offset] is not a gc-point. *)
+let find (t : Encode.program_tables) ~fid ~code_offset :
+    decoded_proc * Rawmaps.gcpoint =
+  let ep = t.Encode.procs.(fid) in
+  let rel = code_offset - t.Encode.code_starts.(fid) in
+  let r = make_reader ~packed:t.Encode.opts.Encode.packing ep.Encode.ep_stream in
+  let dp, ngc = decode_proc_header t.Encode.scheme r in
+  let st = { offset = 0; stack = []; regs = []; derivs = [] } in
+  let rec scan i =
+    if i >= ngc then raise Not_found
+    else
+      let gp = decode_next_gcpoint t.Encode.scheme r dp st in
+      if gp.Rawmaps.gp_offset = rel then (dp, gp) else scan (i + 1)
+  in
+  scan 0
+
+(** Locate the procedure containing an absolute code byte offset. *)
+let proc_of_offset (t : Encode.program_tables) ~code_offset : int =
+  let n = Array.length t.Encode.code_starts in
+  let rec bsearch lo hi =
+    (* invariant: code_starts.(lo) <= code_offset; answer in [lo, hi) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.Encode.code_starts.(mid) <= code_offset then bsearch mid hi else bsearch lo mid
+  in
+  if n = 0 || code_offset < t.Encode.code_starts.(0) then raise Not_found
+  else bsearch 0 n

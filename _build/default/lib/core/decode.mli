@@ -1,0 +1,36 @@
+(** Decoding of gc tables at collection time.
+
+    The collector maps a return address (a code byte offset) to its
+    gc-point tables by locating the enclosing procedure
+    ({!proc_of_offset}) and scanning that procedure's table stream,
+    accumulating the inter-gc-point distances — the paper's pc→table
+    mapping (§5.2). "Identical to previous" descriptors are resolved
+    during the scan. *)
+
+type decoded_proc = {
+  dp_frame_size : int; (* words below the saved-FP slot *)
+  dp_nargs : int;
+  dp_saves : (int * int) list; (* (callee-saved register, FP-relative slot) *)
+  dp_ground : Loc.t array; (* empty under Full_info *)
+}
+
+val decode_proc :
+  Encode.scheme ->
+  Encode.options ->
+  Encode.encoded_proc ->
+  decoded_proc * Rawmaps.gcpoint list
+(** Decode a whole procedure stream back into raw maps. Decoded gc-points
+    carry [gp_index = -1] (indices are not serialized) and, under δ-main,
+    their stack pointers in ground-table order. *)
+
+val find :
+  Encode.program_tables -> fid:int -> code_offset:int -> decoded_proc * Rawmaps.gcpoint
+(** [find t ~fid ~code_offset] locates the tables for the gc-point whose
+    call instruction starts at absolute byte [code_offset] inside procedure
+    [fid]. This is the collector's hot path and is deliberately a linear
+    scan of the procedure's stream — the decode cost the paper measures.
+    @raise Not_found if the offset is not a gc-point of that procedure. *)
+
+val proc_of_offset : Encode.program_tables -> code_offset:int -> int
+(** Procedure containing an absolute code byte offset (binary search).
+    @raise Not_found for offsets before the first procedure. *)

@@ -1,0 +1,71 @@
+(** Serialization of gc tables — the design space of the paper's §5.
+
+    Two {e organizations}:
+    - {!Delta_main} (the paper's δ-main): each procedure carries a ground
+      ("main") table of every stack location that holds a tidy pointer at
+      {e some} gc-point; each gc-point then stores only a liveness bitmap
+      over the ground entries.
+    - {!Full_info}: each gc-point stores its complete stack-pointer list.
+
+    Two independent compressions ({!options}):
+    - [packing]: the byte-level codec of Figs. 3–4 (continuation-bit
+      varints, one descriptor byte per gc-point, two-byte pc distances)
+      versus plain 32-bit words;
+    - [previous]: a table identical to the one at the preceding gc-point is
+      replaced by a descriptor flag and omitted.
+
+    All configurations produce real byte streams that {!Decode} reads, so
+    both the sizes (Table 2) and the decode cost (§6.1/§6.3) are
+    measurable. *)
+
+type scheme = Delta_main | Full_info
+
+type options = { packing : bool; previous : bool }
+
+val pp_config : Format.formatter -> scheme * options -> unit
+
+(** {2 Descriptor encoding}
+
+    One descriptor per gc-point; two bits per table kind
+    ([tbl_empty]/[tbl_same]/[tbl_present]) plus a variant-presence bit. *)
+
+val tbl_empty : int
+val tbl_same : int
+val tbl_present : int
+val desc_stack_shift : int
+val desc_reg_shift : int
+val desc_deriv_shift : int
+val desc_variant_bit : int
+
+(** {2 Ground tables} *)
+
+val ground_table : Rawmaps.proc_maps -> Loc.t array
+(** All distinct stack locations holding pointers at some gc-point of the
+    procedure, sorted — the paper's per-procedure "main table". *)
+
+val delta_bitmap : Loc.t array -> Loc.t list -> Support.Bitset.t
+(** Liveness bitmap of the given pointers over a ground table.
+    @raise Invalid_argument if a pointer is missing from the ground table. *)
+
+(** {2 Encoding} *)
+
+type encoded_proc = {
+  ep_fid : int;
+  ep_stream : Bytes.t; (* header, ground table, then one record per gc-point *)
+  ep_code_bytes : int;
+  ep_ngcpoints : int;
+}
+
+val encode_proc : scheme -> options -> Rawmaps.proc_maps -> encoded_proc
+
+type program_tables = {
+  scheme : scheme;
+  opts : options;
+  procs : encoded_proc array; (* indexed by function id *)
+  code_starts : int array; (* absolute code byte offset of each procedure *)
+}
+
+val encode_program :
+  scheme -> options -> Rawmaps.proc_maps array -> int array -> program_tables
+
+val total_table_bytes : program_tables -> int

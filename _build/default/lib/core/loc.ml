@@ -1,0 +1,44 @@
+(** Locations named by the gc tables: a hard register, or a memory word
+    addressed relative to one of the three stack base registers — exactly
+    the {FP, SP, AP} set the paper's ground-table entries encode in two bits
+    (Fig. 4).
+
+    During a stack walk the three bases are resolved per frame:
+    - [FP]: the frame pointer of the frame being processed;
+    - [SP]: its stack pointer, [FP - frame_size] (frames have static size);
+    - [AP]: the base of the {e outgoing} argument words of the call made at
+      this gc-point, i.e. the incoming-argument base of the callee frame.
+      Derivation bases in a {e callee} may also name its own incoming
+      arguments as [AP]-relative words. *)
+
+type base_reg = FP | SP | AP
+
+type t =
+  | Lreg of int (* hard register *)
+  | Lmem of base_reg * int (* word offset from the base register *)
+
+let base_code = function FP -> 0 | SP -> 1 | AP -> 2
+let base_of_code = function 0 -> FP | 1 -> SP | 2 -> AP | _ -> invalid_arg "Loc.base_of_code"
+
+(** Integer encoding: memory locations put the base register in the low two
+    bits and the (signed) word offset above them (Fig. 4); registers use the
+    remaining tag value 3. *)
+let to_int = function
+  | Lmem (b, off) -> (off lsl 2) lor base_code b
+  | Lreg r -> (r lsl 2) lor 3
+
+let of_int v =
+  let tag = v land 3 in
+  if tag = 3 then Lreg (v asr 2) else Lmem (base_of_code tag, v asr 2)
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = compare a b
+
+let pp fmt = function
+  | Lreg r -> Format.fprintf fmt "r%d" r
+  | Lmem (FP, o) -> Format.fprintf fmt "FP%+d" o
+  | Lmem (SP, o) -> Format.fprintf fmt "SP%+d" o
+  | Lmem (AP, o) -> Format.fprintf fmt "AP%+d" o
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,33 @@
+(** Locations named by the gc tables: a hard register, or a memory word
+    relative to one of the three stack base registers — the {FP, SP, AP}
+    set encoded in two bits by the paper's ground-table entries (Fig. 4).
+
+    Resolution during a stack walk:
+    - [FP] — the frame pointer of the frame being processed;
+    - [SP] — its stack pointer, [FP - frame_size] (frames have static size);
+    - [AP] — the base of the {e outgoing} argument words of the call made
+      at this frame's gc-point (equivalently: the callee frame's incoming
+      arguments). The caller's tables describe pointer- and derived-valued
+      argument slots AP-relative for the whole duration of the call, so
+      callees never list their incoming parameters. *)
+
+type base_reg = FP | SP | AP
+
+type t =
+  | Lreg of int (* hard register *)
+  | Lmem of base_reg * int (* word offset from the base register *)
+
+val base_code : base_reg -> int
+val base_of_code : int -> base_reg
+
+val to_int : t -> int
+(** Fig. 4 encoding: memory locations put the base register in the low two
+    bits with the signed word offset above; registers use tag 3. Small
+    frame offsets therefore pack into a single byte. *)
+
+val of_int : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,73 @@
+(** Statistics over the generated tables: the columns of the paper's
+    Table 1, and the size-vs-code-size percentages of Table 2. *)
+
+type t = {
+  size_bytes : int; (* program code size in bytes *)
+  ngc : int; (* gc-points with at least one non-empty table *)
+  nptrs : int; (* total pointer entries over all gc-points (stack + regs) *)
+  ndel : int; (* delta tables emitted (non-empty, not identical-to-previous) *)
+  nreg : int; (* register tables emitted *)
+  nder : int; (* derivations tables emitted *)
+  ngcpoints : int; (* all gc-points, including empty ones *)
+}
+
+let compute (pms : Rawmaps.proc_maps array) : t =
+  let ngc = ref 0 and nptrs = ref 0 and ndel = ref 0 and nreg = ref 0 and nder = ref 0 in
+  let total = ref 0 in
+  let size = Array.fold_left (fun acc pm -> acc + pm.Rawmaps.pm_code_bytes) 0 pms in
+  Array.iter
+    (fun (pm : Rawmaps.proc_maps) ->
+      let prev_stack = ref [] and prev_regs = ref [] and prev_derivs = ref [] in
+      List.iter
+        (fun (g : Rawmaps.gcpoint) ->
+          incr total;
+          if not (Rawmaps.gcpoint_is_empty g) then incr ngc;
+          nptrs := !nptrs + List.length g.Rawmaps.stack_ptrs + List.length g.Rawmaps.reg_ptrs;
+          if g.Rawmaps.stack_ptrs <> [] && g.Rawmaps.stack_ptrs <> !prev_stack then incr ndel;
+          if g.Rawmaps.reg_ptrs <> [] && g.Rawmaps.reg_ptrs <> !prev_regs then incr nreg;
+          if g.Rawmaps.derivs <> [] && g.Rawmaps.derivs <> !prev_derivs then incr nder;
+          prev_stack := g.Rawmaps.stack_ptrs;
+          prev_regs := g.Rawmaps.reg_ptrs;
+          prev_derivs := g.Rawmaps.derivs)
+        pm.Rawmaps.pm_gcpoints)
+    pms;
+  {
+    size_bytes = size;
+    ngc = !ngc;
+    nptrs = !nptrs;
+    ndel = !ndel;
+    nreg = !nreg;
+    nder = !nder;
+    ngcpoints = !total;
+  }
+
+(** The six configurations of the paper's Table 2. *)
+let configs : (string * Encode.scheme * Encode.options) list =
+  [
+    ("full/plain", Encode.Full_info, { Encode.packing = false; previous = false });
+    ("full/packing", Encode.Full_info, { Encode.packing = true; previous = false });
+    ("delta/plain", Encode.Delta_main, { Encode.packing = false; previous = false });
+    ("delta/previous", Encode.Delta_main, { Encode.packing = false; previous = true });
+    ("delta/packing", Encode.Delta_main, { Encode.packing = true; previous = false });
+    ("delta/pp", Encode.Delta_main, { Encode.packing = true; previous = true });
+  ]
+
+(** Table sizes (bytes) for every configuration. *)
+let sizes (pms : Rawmaps.proc_maps array) : (string * int) list =
+  List.map
+    (fun (name, scheme, opts) ->
+      let total =
+        Array.fold_left
+          (fun acc pm ->
+            acc + Bytes.length (Encode.encode_proc scheme opts pm).Encode.ep_stream)
+          0 pms
+      in
+      (name, total))
+    configs
+
+(** Table sizes as a percentage of code size (the cells of Table 2). *)
+let size_percentages (pms : Rawmaps.proc_maps array) : (string * float) list =
+  let code = Array.fold_left (fun acc pm -> acc + pm.Rawmaps.pm_code_bytes) 0 pms in
+  List.map
+    (fun (name, bytes) -> (name, 100.0 *. float_of_int bytes /. float_of_int (max 1 code)))
+    (sizes pms)

@@ -1,0 +1,24 @@
+(** Statistics over the generated tables: the columns of the paper's
+    Table 1 and the size-vs-code percentages of Table 2. *)
+
+type t = {
+  size_bytes : int; (* program code size in bytes *)
+  ngc : int; (* gc-points with at least one non-empty table *)
+  nptrs : int; (* pointer entries (stack + register) over all gc-points *)
+  ndel : int; (* delta tables emitted (non-empty, not identical-to-previous) *)
+  nreg : int; (* register tables emitted *)
+  nder : int; (* derivation tables emitted *)
+  ngcpoints : int; (* all gc-points, including those with empty tables *)
+}
+
+val compute : Rawmaps.proc_maps array -> t
+
+val configs : (string * Encode.scheme * Encode.options) list
+(** The six configurations of Table 2: full-info × {plain, packing} and
+    δ-main × {plain, previous, packing, packing+previous}. *)
+
+val sizes : Rawmaps.proc_maps array -> (string * int) list
+(** Total encoded table bytes under every configuration. *)
+
+val size_percentages : Rawmaps.proc_maps array -> (string * float) list
+(** Table sizes as a percentage of code size — the cells of Table 2. *)

@@ -1,0 +1,1 @@
+lib/driver/compile.ml: Codegen Gc Gcmaps M3l Mir Opt Vm

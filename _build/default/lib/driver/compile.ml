@@ -1,0 +1,83 @@
+(** End-to-end compilation driver:
+    source → tokens → AST → typed AST → MIR → (optimizer) → UVM image. *)
+
+type options = {
+  optimize : bool;
+  checks : bool; (* NIL / bounds checks (Modula-3 semantics) *)
+  gc_restrict : bool; (* §6.2: off reproduces "without gc restrictions" *)
+  noalloc_analysis : bool; (* calls to never-allocating procs are not gc-points *)
+  loop_gcpoints : bool; (* §5.3: guarantee a gc-point in every loop *)
+  heap_words : int;
+  stack_words : int;
+  scheme : Gcmaps.Encode.scheme;
+  table_opts : Gcmaps.Encode.options;
+}
+
+let default_options =
+  {
+    optimize = false;
+    checks = true;
+    gc_restrict = true;
+    noalloc_analysis = false;
+    loop_gcpoints = false;
+    heap_words = 65536;
+    stack_words = 16384;
+    scheme = Gcmaps.Encode.Delta_main;
+    table_opts = { Gcmaps.Encode.packing = true; previous = true };
+  }
+
+let to_mir ?(options = default_options) (source : string) : Mir.Ir.program =
+  let tast = M3l.Typecheck.check_source source in
+  let prog = Mir.Lower.program ~checks:options.checks tast in
+  if options.optimize then Opt.Pipeline.optimize prog;
+  if options.loop_gcpoints then ignore (Opt.Loop_gcpoints.run prog);
+  prog
+
+let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image.t =
+  let noalloc =
+    if options.noalloc_analysis then Opt.Noalloc.analyze prog else fun _ -> false
+  in
+  let build_opts =
+    {
+      Vm.Image.heap_words = options.heap_words;
+      stack_words = options.stack_words;
+      select = { Codegen.Select.gc_restrict = options.gc_restrict; noalloc };
+      scheme = options.scheme;
+      table_opts = options.table_opts;
+    }
+  in
+  Vm.Image.build ~opts:build_opts prog
+
+let compile ?(options = default_options) (source : string) : Vm.Image.t =
+  image_of_mir ~options (to_mir ~options source)
+
+type collector = Precise | Conservative | No_gc
+
+type run_result = {
+  output : string;
+  instructions : int;
+  allocations : int;
+  alloc_words : int;
+  collections : int;
+  gc : Vm.Interp.gc_stats;
+}
+
+let run ?(collector = Precise) ?(fuel = 200_000_000) (image : Vm.Image.t) : run_result =
+  let st = Vm.Interp.create image in
+  (match collector with
+  | Precise -> Gc.Cheney.install st
+  | Conservative -> ignore (Gc.Conservative.install st)
+  | No_gc -> ());
+  Vm.Interp.run ~fuel st;
+  {
+    output = Vm.Interp.output st;
+    instructions = st.Vm.Interp.icount;
+    allocations = st.Vm.Interp.alloc_count;
+    alloc_words = st.Vm.Interp.alloc_words;
+    collections = st.Vm.Interp.gc.Vm.Interp.collections;
+    gc = st.Vm.Interp.gc;
+  }
+
+(** Compile and run in one step (tests and examples). *)
+let run_source ?(options = default_options) ?collector ?fuel source =
+  run ?collector ?fuel (compile ~options source)

@@ -1,0 +1,1 @@
+lib/gc/cheney.ml: Array Derived_update Gcmaps Int64 List Rt Stackwalk Unix Vm

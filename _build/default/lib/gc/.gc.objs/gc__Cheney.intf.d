@@ -1,0 +1,1 @@
+lib/gc/cheney.mli: Vm

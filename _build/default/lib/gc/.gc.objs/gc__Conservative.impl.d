@@ -1,0 +1,1 @@
+lib/gc/conservative.ml: Array Hashtbl Int64 List Machine Queue Unix Vm

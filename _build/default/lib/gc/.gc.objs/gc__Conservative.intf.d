@@ -1,0 +1,1 @@
+lib/gc/conservative.mli: Vm

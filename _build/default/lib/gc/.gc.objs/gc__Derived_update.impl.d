@@ -1,0 +1,1 @@
+lib/gc/derived_update.ml: Gcmaps List Stackwalk Vm

@@ -1,0 +1,1 @@
+lib/gc/derived_update.mli: Gcmaps Stackwalk Vm

@@ -1,0 +1,1 @@
+lib/gc/stackwalk.ml: Array Gcmaps List Machine Vm

@@ -1,0 +1,1 @@
+lib/gc/stackwalk.mli: Gcmaps Vm

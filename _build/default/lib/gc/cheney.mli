@@ -1,0 +1,30 @@
+(** The precise, fully compacting semispace collector.
+
+    Every live object moves on every collection — the strongest exercise of
+    the compiler-emitted tables: tidy pointers in globals, stack slots and
+    registers are forwarded; derived values are un-derived before the copy
+    and re-derived after (paper §3), never followed (the dead-base rule
+    guarantees any object reachable through a derived value is also
+    reachable through one of its bases).
+
+    Timing instrumentation fills the interpreter's {!Vm.Interp.gc_stats}:
+    [trace_ns] covers exactly the work the paper calls "stack tracing" —
+    locating and decoding tables, walking frames, adjusting and re-deriving
+    derived values, and updating stack/register roots. *)
+
+val collect : Vm.Interp.t -> needed:int -> unit
+(** Run one collection: walk, adjust, copy, re-derive, flip. Installed as
+    the interpreter's collector by {!install}.
+    @raise Vm.Vm_error.Error on a corrupt root (e.g. an untidy pointer in a
+    tidy table entry — an invariant check that the tests rely on). *)
+
+val trace_only : Vm.Interp.t -> unit
+(** A "null collection": locate the tables, walk the stack, adjust and
+    immediately re-derive, moving nothing. Used to reproduce the paper's
+    §6.3 differencing methodology; must leave the machine state unchanged
+    (asserted by the test suite). *)
+
+val install : Vm.Interp.t -> unit
+
+val now_ns : unit -> int64
+(** Monotonic-enough wall clock used for the gc timers. *)

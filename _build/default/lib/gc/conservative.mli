@@ -1,0 +1,29 @@
+(** Ambiguous-roots (Boehm-style) mark–sweep baseline (paper §7).
+
+    No tables: every word in the registers, the whole stack and the global
+    area is treated as a potential pointer, and anything it might address
+    is pinned. Objects never move — no compaction, no derived-value
+    update, and interior pointers pin their objects (with [interior] set,
+    the default, matching the behaviour Boehm's gc-safety work assumes).
+
+    Reclaimed objects feed the interpreter's first-fit free list. Object
+    boundaries come from the VM's [on_alloc] hook, standing in for the
+    allocator metadata a real conservative collector keeps. *)
+
+type t
+
+val install : ?interior:bool -> Vm.Interp.t -> t
+(** Install as the interpreter's collector and allocation observer. *)
+
+val collect_now : t -> unit
+
+val free_list_stats : Vm.Interp.t -> int * int * int
+(** [(blocks, total free words, largest block)] — the fragmentation the
+    precise compacting collector never has. *)
+
+val retained_words : t -> int
+(** Words currently considered live (ambiguously retained included). *)
+
+val register_alloc : t -> int -> int -> unit
+val find_object : t -> int -> int option
+(** Exposed for tests: the object (if any) an ambiguous word pins. *)

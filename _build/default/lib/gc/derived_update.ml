@@ -1,0 +1,55 @@
+(** The two-step update of derived values (paper §3).
+
+    Step 1 (before anything moves): for every live derived value
+    [a = Σp − Σq + E], compute and store E by applying the inverses:
+    [a := a − Σp + Σq]. Step 2 (after collection): re-derive from the new
+    base values: [a := a + Σp' − Σq'].
+
+    Ordering: a derived value is adjusted before any of its base values
+    (the table order guarantees this within a gc-point), and callee frames
+    are processed before their callers; re-derivation happens in exactly
+    the reverse order. *)
+
+module RM = Gcmaps.Rawmaps
+
+(* The derivation entries active at a frame's gc-point: the unconditional
+   ones plus, for each ambiguous derivation, the case selected by the path
+   variable's current value (paper §4). *)
+let active_entries (st : Vm.Interp.t) (fr : Stackwalk.frame) : RM.deriv_entry list =
+  let chosen =
+    List.filter_map
+      (fun (v : RM.variant) ->
+        let path_value = Stackwalk.read st fr v.RM.path_loc in
+        List.assoc_opt path_value v.RM.cases)
+      fr.fr_gcpoint.RM.variants
+  in
+  chosen @ fr.fr_gcpoint.RM.derivs
+
+let adjust_entry st fr (e : RM.deriv_entry) =
+  let a = ref (Stackwalk.read st fr e.RM.target) in
+  List.iter (fun b -> a := !a - Stackwalk.read st fr b) e.RM.plus;
+  List.iter (fun b -> a := !a + Stackwalk.read st fr b) e.RM.minus;
+  Stackwalk.write st fr e.RM.target !a
+
+let rederive_entry st fr (e : RM.deriv_entry) =
+  let a = ref (Stackwalk.read st fr e.RM.target) in
+  List.iter (fun b -> a := !a + Stackwalk.read st fr b) e.RM.plus;
+  List.iter (fun b -> a := !a - Stackwalk.read st fr b) e.RM.minus;
+  Stackwalk.write st fr e.RM.target !a
+
+(** Step 1 over all frames (innermost first). Returns the per-frame entry
+    lists so step 2 uses the same selections. *)
+let adjust_all st (frames : Stackwalk.frame list) : (Stackwalk.frame * RM.deriv_entry list) list
+    =
+  List.map
+    (fun fr ->
+      let entries = active_entries st fr in
+      List.iter (adjust_entry st fr) entries;
+      (fr, entries))
+    frames
+
+(** Step 2: reverse frame order, reverse entry order within each frame. *)
+let rederive_all st (adjusted : (Stackwalk.frame * RM.deriv_entry list) list) =
+  List.iter
+    (fun (fr, entries) -> List.iter (rederive_entry st fr) (List.rev entries))
+    (List.rev adjusted)

@@ -1,0 +1,31 @@
+(** The two-step update of derived values (paper §3).
+
+    Step 1, before anything moves: for every live derived value
+    [a = Σp − Σq + E], store E by applying the inverses
+    ([a := a − Σp + Σq]). Step 2, after the copy: re-derive from the new
+    base values ([a := a + Σp' − Σq']).
+
+    Ordering (both of the paper's rules): a derived value is processed
+    before any of its base values — guaranteed by the table order within a
+    gc-point — and callee frames before their callers; step 2 runs in
+    exactly the reverse order.
+
+    Ambiguous derivations (§4) are resolved here: the path variable is
+    read from the frame and selects the table variant; the same selection
+    is reused for step 2. *)
+
+val active_entries :
+  Vm.Interp.t -> Stackwalk.frame -> Gcmaps.Rawmaps.deriv_entry list
+(** The derivation entries in force at a frame's gc-point: unconditional
+    entries plus the variant cases selected by the path variables. *)
+
+val adjust_all :
+  Vm.Interp.t ->
+  Stackwalk.frame list ->
+  (Stackwalk.frame * Gcmaps.Rawmaps.deriv_entry list) list
+(** Step 1 over all frames (innermost first); returns the per-frame entry
+    selections for {!rederive_all}. *)
+
+val rederive_all :
+  Vm.Interp.t -> (Stackwalk.frame * Gcmaps.Rawmaps.deriv_entry list) list -> unit
+(** Step 2: reverse frame order, reverse entry order within each frame. *)

@@ -1,0 +1,87 @@
+(** Stack walking and register reconstruction.
+
+    At a collection, the machine is stopped inside an allocating runtime
+    call; the walk starts at the compiled frame that made that call and
+    proceeds outward through saved frame pointers. Each frame's gc-point is
+    identified from the return address stored in its callee's frame (or,
+    for the innermost frame, from the current pc), and its tables are
+    found through the pc→table mapping (paper §3).
+
+    Register reconstruction: walking outward, every procedure's metadata
+    says which callee-saved registers it saved and where; an outer frame's
+    register contents "as of the time of the call" are therefore found
+    either still in the register file or in the save area of some inner
+    frame — the paper's "additional information about which registers were
+    saved at each call point". *)
+
+module L = Gcmaps.Loc
+module RM = Gcmaps.Rawmaps
+
+type reg_location = In_regs | In_mem of int
+
+type frame = {
+  fr_fid : int;
+  fr_fp : int;
+  fr_sp : int; (* fp - frame_size *)
+  fr_ap : int; (* base of the outgoing argument words of this frame's call *)
+  fr_gcpoint : RM.gcpoint;
+  fr_reg_loc : reg_location array; (* where each register's value lives *)
+}
+
+(** Resolve a table location against a frame. *)
+let resolve (fr : frame) (l : L.t) : [ `Reg of int | `Mem of int ] =
+  match l with
+  | L.Lreg r -> (
+      match fr.fr_reg_loc.(r) with In_regs -> `Reg r | In_mem a -> `Mem a)
+  | L.Lmem (L.FP, o) -> `Mem (fr.fr_fp + o)
+  | L.Lmem (L.SP, o) -> `Mem (fr.fr_sp + o)
+  | L.Lmem (L.AP, o) -> `Mem (fr.fr_ap + o)
+
+let read (st : Vm.Interp.t) fr l =
+  match resolve fr l with `Reg r -> st.Vm.Interp.regs.(r) | `Mem a -> Vm.Interp.read st a
+
+let write (st : Vm.Interp.t) fr l v =
+  match resolve fr l with
+  | `Reg r -> st.Vm.Interp.regs.(r) <- v
+  | `Mem a -> Vm.Interp.write st a v
+
+(** Walk the stack at a collection. Returns frames innermost-first.
+    [frames_traced] statistics are the caller's concern. *)
+let walk (st : Vm.Interp.t) : frame list =
+  let img = st.Vm.Interp.image in
+  let tables = img.Vm.Image.tables in
+  let nregs = Machine.Reg.nregs in
+  let find_tables ~fid ~code_index =
+    let code_offset = img.Vm.Image.insn_offsets.(code_index) in
+    Gcmaps.Decode.find tables ~fid ~code_offset
+  in
+  let rec go ~gp_code_index ~fp ~ap ~reg_loc acc =
+    let fid = Vm.Image.proc_of_code_index img gp_code_index in
+    let dp, gcpoint = find_tables ~fid ~code_index:gp_code_index in
+    let frame =
+      {
+        fr_fid = fid;
+        fr_fp = fp;
+        fr_sp = fp - dp.Gcmaps.Decode.dp_frame_size;
+        fr_ap = ap;
+        fr_gcpoint = gcpoint;
+        fr_reg_loc = reg_loc;
+      }
+    in
+    let acc = frame :: acc in
+    let retaddr = Vm.Interp.read st (fp + 1) in
+    if retaddr = Vm.Interp.sentinel_ret then List.rev acc
+    else begin
+      (* Registers saved by this frame's procedure now shadow the register
+         file for all outer frames. *)
+      let reg_loc' = Array.copy reg_loc in
+      List.iter (fun (r, off) -> reg_loc'.(r) <- In_mem (fp + off)) dp.Gcmaps.Decode.dp_saves;
+      go ~gp_code_index:(retaddr - 1) ~fp:(Vm.Interp.read st fp) ~ap:(fp + 2)
+        ~reg_loc:reg_loc' acc
+    end
+  in
+  (* The machine is inside a runtime call: pc is the Call instruction, FP is
+     the calling frame's, and the runtime arguments sit at SP (no return
+     address is pushed for runtime calls). *)
+  go ~gp_code_index:st.Vm.Interp.pc ~fp:(Vm.Interp.fp st) ~ap:(Vm.Interp.sp st)
+    ~reg_loc:(Array.make nregs In_regs) []

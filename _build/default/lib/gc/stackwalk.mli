@@ -1,0 +1,37 @@
+(** Stack walking and register reconstruction (paper §3).
+
+    At a collection the machine is stopped inside an allocating runtime
+    call; the walk starts at the compiled frame that made the call and
+    follows saved frame pointers outward. Each frame's gc-point is found
+    from the return address stored in its callee's frame (for the
+    innermost frame, from the current pc), and its tables are located
+    through the pc→table mapping.
+
+    Register reconstruction: walking outward, each procedure's metadata
+    says which callee-saved registers it saved and where, so an outer
+    frame's register contents "as of the time of the call" are found
+    either still in the register file or in the save area of some inner
+    frame — the paper's "additional information about which registers were
+    saved at each call point". *)
+
+type reg_location = In_regs | In_mem of int
+
+type frame = {
+  fr_fid : int;
+  fr_fp : int;
+  fr_sp : int; (* fp - frame_size *)
+  fr_ap : int; (* base of the outgoing argument words of this frame's call *)
+  fr_gcpoint : Gcmaps.Rawmaps.gcpoint;
+  fr_reg_loc : reg_location array; (* where each register's value lives *)
+}
+
+val resolve : frame -> Gcmaps.Loc.t -> [ `Reg of int | `Mem of int ]
+(** Resolve a table location against a frame (FP/SP/AP bases and the
+    register reconstruction map). *)
+
+val read : Vm.Interp.t -> frame -> Gcmaps.Loc.t -> int
+val write : Vm.Interp.t -> frame -> Gcmaps.Loc.t -> int -> unit
+
+val walk : Vm.Interp.t -> frame list
+(** Walk the stack at a collection; frames are returned innermost first
+    (the order required by the derived-value update). *)

@@ -1,0 +1,1 @@
+lib/m3l/lexer.ml: Buffer List M3l_error Srcloc String Token

@@ -1,0 +1,1 @@
+lib/m3l/lexer.mli: Srcloc Token

@@ -1,0 +1,1 @@
+lib/m3l/m3l_error.ml: Printf Srcloc

@@ -1,0 +1,1 @@
+lib/m3l/parser.ml: Ast Lexer List M3l_error Srcloc Token

@@ -1,0 +1,1 @@
+lib/m3l/parser.mli: Ast Srcloc Token

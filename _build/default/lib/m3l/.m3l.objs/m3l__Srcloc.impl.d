@@ -1,0 +1,1 @@
+lib/m3l/srcloc.ml: Format Printf

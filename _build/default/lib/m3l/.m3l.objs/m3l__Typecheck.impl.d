@@ -1,0 +1,1 @@
+lib/m3l/typecheck.ml: Ast Ints List M3l_error Parser Support Tast Types

@@ -1,0 +1,1 @@
+lib/m3l/typecheck.mli: Ast Tast

@@ -1,0 +1,1 @@
+lib/m3l/types.ml: Format List

@@ -1,0 +1,6 @@
+(** Hand-written lexer for M3L. Keywords are upper-case, identifiers are
+    case-sensitive, comments are [(* ... *)] and nest. *)
+
+val tokenize : string -> (Token.t * Srcloc.t) list
+(** Tokenize a whole compilation unit. The result always ends with [EOF].
+    @raise M3l_error.Lex_error on malformed input. *)

@@ -1,0 +1,489 @@
+type state = { mutable toks : (Token.t * Srcloc.t) list }
+
+let peek st = match st.toks with [] -> (Token.EOF, Srcloc.dummy) | t :: _ -> t
+let peek_tok st = fst (peek st)
+let cur_loc st = snd (peek st)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got, l = peek st in
+  if got = tok then advance st
+  else
+    M3l_error.parse_error l "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string got)
+
+let accept st tok = if peek_tok st = tok then ( advance st; true ) else false
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s, _ -> s
+  | t, l -> M3l_error.parse_error l "expected identifier, found %s" (Token.to_string t)
+
+let expect_int st =
+  match next st with
+  | Token.INT_LIT n, _ -> n
+  | Token.MINUS, _ -> (
+      match next st with
+      | Token.INT_LIT n, _ -> -n
+      | t, l ->
+          M3l_error.parse_error l "expected integer literal, found %s" (Token.to_string t))
+  | t, l -> M3l_error.parse_error l "expected integer literal, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st : Ast.type_expr =
+  let l = cur_loc st in
+  match peek_tok st with
+  | Token.IDENT name ->
+      advance st;
+      Ast.Tname (name, l)
+  | Token.REF ->
+      advance st;
+      Ast.Tref (parse_type st, l)
+  | Token.RECORD ->
+      advance st;
+      let fields = ref [] in
+      while peek_tok st <> Token.END do
+        (* field group: id (',' id)* ':' type [';'] *)
+        let names = ref [ expect_ident st ] in
+        while accept st Token.COMMA do
+          names := expect_ident st :: !names
+        done;
+        expect st Token.COLON;
+        let ty = parse_type st in
+        List.iter (fun n -> fields := (n, ty) :: !fields) (List.rev !names);
+        ignore (accept st Token.SEMI)
+      done;
+      expect st Token.END;
+      Ast.Trecord (List.rev !fields, l)
+  | Token.ARRAY ->
+      advance st;
+      if accept st Token.LBRACKET then begin
+        let lo = expect_int st in
+        expect st Token.DOTDOT;
+        let hi = expect_int st in
+        expect st Token.RBRACKET;
+        expect st Token.OF;
+        Ast.Tarray (lo, hi, parse_type st, l)
+      end
+      else begin
+        expect st Token.OF;
+        Ast.Topen_array (parse_type st, l)
+      end
+  | t -> M3l_error.parse_error l "expected a type, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Precedence (lowest first): OR | AND | NOT | relations | + - | * DIV MOD |
+   unary - | suffixes. *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek_tok st = Token.OR then begin
+    let l = cur_loc st in
+    advance st;
+    let rhs = parse_or st in
+    Ast.Binop (Ast.Or, lhs, rhs, l)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek_tok st = Token.AND then begin
+    let l = cur_loc st in
+    advance st;
+    let rhs = parse_and st in
+    Ast.Binop (Ast.And, lhs, rhs, l)
+  end
+  else lhs
+
+and parse_not st =
+  if peek_tok st = Token.NOT then begin
+    let l = cur_loc st in
+    advance st;
+    Ast.Unop (Ast.Not, parse_not st, l)
+  end
+  else parse_rel st
+
+and parse_rel st =
+  let lhs = parse_add st in
+  let op =
+    match peek_tok st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let l = cur_loc st in
+      advance st;
+      let rhs = parse_add st in
+      Ast.Binop (op, lhs, rhs, l)
+
+and parse_add st =
+  let rec go lhs =
+    match peek_tok st with
+    | Token.PLUS ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Binop (Ast.Add, lhs, parse_mul st, l))
+    | Token.MINUS ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Binop (Ast.Sub, lhs, parse_mul st, l))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek_tok st with
+    | Token.STAR ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Binop (Ast.Mul, lhs, parse_unary st, l))
+    | Token.DIV ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Binop (Ast.Div, lhs, parse_unary st, l))
+    | Token.MOD ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Binop (Ast.Mod, lhs, parse_unary st, l))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if peek_tok st = Token.MINUS then begin
+    let l = cur_loc st in
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st, l)
+  end
+  else parse_suffix st
+
+and parse_suffix st =
+  let rec go e =
+    match peek_tok st with
+    | Token.DOT ->
+        let l = cur_loc st in
+        advance st;
+        let f = expect_ident st in
+        go (Ast.Field (e, f, l))
+    | Token.LBRACKET ->
+        let l = cur_loc st in
+        advance st;
+        let i = parse_expr st in
+        expect st Token.RBRACKET;
+        go (Ast.Index (e, i, l))
+    | Token.CARET ->
+        let l = cur_loc st in
+        advance st;
+        go (Ast.Deref (e, l))
+    | _ -> e
+  in
+  go (parse_atom st)
+
+and parse_args st =
+  expect st Token.LPAREN;
+  let args = ref [] in
+  if peek_tok st <> Token.RPAREN then begin
+    args := [ Ast.Arg (parse_expr st) ];
+    while accept st Token.COMMA do
+      args := Ast.Arg (parse_expr st) :: !args
+    done
+  end;
+  expect st Token.RPAREN;
+  List.rev !args
+
+and parse_atom st =
+  let tok, l = peek st in
+  match tok with
+  | Token.INT_LIT n ->
+      advance st;
+      Ast.Int_lit (n, l)
+  | Token.CHAR_LIT c ->
+      advance st;
+      Ast.Char_lit (c, l)
+  | Token.STR_LIT s ->
+      advance st;
+      Ast.Str_lit (s, l)
+  | Token.TRUE ->
+      advance st;
+      Ast.Bool_lit (true, l)
+  | Token.FALSE ->
+      advance st;
+      Ast.Bool_lit (false, l)
+  | Token.NIL ->
+      advance st;
+      Ast.Nil_lit l
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT "NEW" ->
+      advance st;
+      expect st Token.LPAREN;
+      let ty = parse_type st in
+      let n = if accept st Token.COMMA then Some (parse_expr st) else None in
+      expect st Token.RPAREN;
+      Ast.New_expr (ty, n, l)
+  | Token.IDENT name ->
+      advance st;
+      if peek_tok st = Token.LPAREN then Ast.Call_expr (name, parse_args st, l)
+      else Ast.Var (name, l)
+  | t -> M3l_error.parse_error l "expected an expression, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmts st ~terminators : Ast.stmt list =
+  let stmts = ref [] in
+  let at_end () = List.mem (peek_tok st) terminators in
+  while not (at_end ()) do
+    stmts := parse_stmt st :: !stmts;
+    (* Statements are separated by semicolons; trailing semicolon allowed. *)
+    if not (at_end ()) then expect st Token.SEMI
+  done;
+  List.rev !stmts
+
+and parse_stmt st : Ast.stmt =
+  let tok, l = peek st in
+  match tok with
+  | Token.IF ->
+      advance st;
+      let rec branches () =
+        let cond = parse_expr st in
+        expect st Token.THEN;
+        let body = parse_stmts st ~terminators:[ Token.ELSIF; Token.ELSE; Token.END ] in
+        match peek_tok st with
+        | Token.ELSIF ->
+            advance st;
+            let rest, els = branches () in
+            ((cond, body) :: rest, els)
+        | Token.ELSE ->
+            advance st;
+            let els = parse_stmts st ~terminators:[ Token.END ] in
+            ([ (cond, body) ], els)
+        | _ -> ([ (cond, body) ], [])
+      in
+      let brs, els = branches () in
+      expect st Token.END;
+      Ast.If (brs, els, l)
+  | Token.WHILE ->
+      advance st;
+      let cond = parse_expr st in
+      expect st Token.DO;
+      let body = parse_stmts st ~terminators:[ Token.END ] in
+      expect st Token.END;
+      Ast.While (cond, body, l)
+  | Token.FOR ->
+      advance st;
+      let v = expect_ident st in
+      expect st Token.ASSIGN;
+      let lo = parse_expr st in
+      expect st Token.TO;
+      let hi = parse_expr st in
+      let step = if accept st Token.BY then expect_int st else 1 in
+      if step = 0 then M3l_error.parse_error l "FOR step must be nonzero";
+      expect st Token.DO;
+      let body = parse_stmts st ~terminators:[ Token.END ] in
+      expect st Token.END;
+      Ast.For (v, lo, hi, step, body, l)
+  | Token.RETURN ->
+      advance st;
+      let e =
+        match peek_tok st with
+        | Token.SEMI | Token.END | Token.ELSE | Token.ELSIF -> None
+        | _ -> Some (parse_expr st)
+      in
+      Ast.Return (e, l)
+  | Token.WITH ->
+      advance st;
+      let v = expect_ident st in
+      expect st Token.EQ;
+      let e = parse_expr st in
+      expect st Token.DO;
+      let body = parse_stmts st ~terminators:[ Token.END ] in
+      expect st Token.END;
+      Ast.With (v, e, body, l)
+  | Token.IDENT name -> (
+      advance st;
+      (* Either a call statement or the start of a designator assignment. *)
+      if peek_tok st = Token.LPAREN then Ast.Call_stmt (name, parse_args st, l)
+      else
+        let desig =
+          let rec go e =
+            match peek_tok st with
+            | Token.DOT ->
+                let dl = cur_loc st in
+                advance st;
+                let f = expect_ident st in
+                go (Ast.Field (e, f, dl))
+            | Token.LBRACKET ->
+                let dl = cur_loc st in
+                advance st;
+                let i = parse_expr st in
+                expect st Token.RBRACKET;
+                go (Ast.Index (e, i, dl))
+            | Token.CARET ->
+                let dl = cur_loc st in
+                advance st;
+                go (Ast.Deref (e, dl))
+            | _ -> e
+          in
+          go (Ast.Var (name, l))
+        in
+        match peek_tok st with
+        | Token.ASSIGN ->
+            advance st;
+            let rhs = parse_expr st in
+            Ast.Assign (desig, rhs, l)
+        | t ->
+            M3l_error.parse_error (cur_loc st) "expected ':=' after designator, found %s"
+              (Token.to_string t))
+  | t -> M3l_error.parse_error l "expected a statement, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_var_group st =
+  (* id (',' id)* ':' type ';' — returns the list of (name, ty, loc). *)
+  let l = cur_loc st in
+  let names = ref [ expect_ident st ] in
+  while accept st Token.COMMA do
+    names := expect_ident st :: !names
+  done;
+  expect st Token.COLON;
+  let ty = parse_type st in
+  expect st Token.SEMI;
+  List.rev_map (fun n -> (n, ty, l)) !names
+
+let parse_params st : Ast.param list =
+  expect st Token.LPAREN;
+  let params = ref [] in
+  let parse_group () =
+    let l = cur_loc st in
+    let is_var = accept st Token.VAR in
+    let names = ref [ expect_ident st ] in
+    while accept st Token.COMMA do
+      names := expect_ident st :: !names
+    done;
+    expect st Token.COLON;
+    let ty = parse_type st in
+    List.iter
+      (fun n -> params := { Ast.p_name = n; p_type = ty; p_var = is_var; p_loc = l } :: !params)
+      (List.rev !names)
+  in
+  if peek_tok st <> Token.RPAREN then begin
+    parse_group ();
+    while accept st Token.SEMI do
+      parse_group ()
+    done
+  end;
+  expect st Token.RPAREN;
+  List.rev !params
+
+let parse_proc st : Ast.proc_decl =
+  let l = cur_loc st in
+  expect st Token.PROCEDURE;
+  let name = expect_ident st in
+  let params = parse_params st in
+  let ret = if accept st Token.COLON then Some (parse_type st) else None in
+  expect st Token.SEMI;
+  let locals = ref [] in
+  while peek_tok st = Token.VAR do
+    advance st;
+    let rec groups () =
+      match peek_tok st with
+      | Token.IDENT _ ->
+          locals := !locals @ parse_var_group st;
+          groups ()
+      | _ -> ()
+    in
+    groups ()
+  done;
+  expect st Token.BEGIN;
+  let body = parse_stmts st ~terminators:[ Token.END ] in
+  expect st Token.END;
+  let close = expect_ident st in
+  if close <> name then
+    M3l_error.parse_error (cur_loc st) "procedure %s closed by END %s" name close;
+  expect st Token.SEMI;
+  { Ast.proc_name = name; params; ret_type = ret; locals = !locals; body; proc_loc = l }
+
+let parse_tokens toks : Ast.compilation_unit =
+  let st = { toks } in
+  expect st Token.MODULE;
+  let module_name = expect_ident st in
+  expect st Token.SEMI;
+  let decls = ref [] in
+  let rec go () =
+    match peek_tok st with
+    | Token.TYPE ->
+        advance st;
+        let rec types () =
+          match peek_tok st with
+          | Token.IDENT name ->
+              let l = cur_loc st in
+              advance st;
+              expect st Token.EQ;
+              let ty = parse_type st in
+              expect st Token.SEMI;
+              decls := Ast.Type_decl (name, ty, l) :: !decls;
+              types ()
+          | _ -> ()
+        in
+        types ();
+        go ()
+    | Token.VAR ->
+        advance st;
+        let rec vars () =
+          match peek_tok st with
+          | Token.IDENT _ ->
+              List.iter
+                (fun (n, ty, l) -> decls := Ast.Var_decl (n, ty, l) :: !decls)
+                (parse_var_group st);
+              vars ()
+          | _ -> ()
+        in
+        vars ();
+        go ()
+    | Token.PROCEDURE ->
+        decls := Ast.Proc_decl (parse_proc st) :: !decls;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let main =
+    if accept st Token.BEGIN then parse_stmts st ~terminators:[ Token.END ] else []
+  in
+  expect st Token.END;
+  let close = expect_ident st in
+  if close <> module_name then
+    M3l_error.parse_error (cur_loc st) "module %s closed by END %s" module_name close;
+  expect st Token.DOT;
+  { Ast.module_name; decls = List.rev !decls; main }
+
+let parse src = parse_tokens (Lexer.tokenize src)

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for M3L.
+
+    Grammar sketch (see README for the full language description):
+    {v
+    unit    ::= MODULE id ';' decl* [BEGIN stmts] END id '.'
+    decl    ::= TYPE (id '=' type ';')+
+              | VAR (id (',' id)* ':' type ';')+
+              | PROCEDURE id '(' params ')' [':' type] ';'
+                  [VAR vardecls] BEGIN stmts END id ';'
+    type    ::= id | RECORD fields END | ARRAY '[' int '..' int ']' OF type
+              | ARRAY OF type | REF type
+    stmt    ::= desig ':=' expr | id '(' args ')' | IF ... | WHILE ... |
+                FOR id ':=' e TO e [BY int] DO ... END | RETURN [e] |
+                WITH id '=' expr DO ... END
+    v} *)
+
+val parse : string -> Ast.compilation_unit
+(** Parse a full compilation unit from source text.
+    @raise M3l_error.Lex_error or M3l_error.Parse_error on bad input. *)
+
+val parse_tokens : (Token.t * Srcloc.t) list -> Ast.compilation_unit

@@ -1,0 +1,7 @@
+(** Source positions for error reporting. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+let to_string { line; col } = Printf.sprintf "%d:%d" line col

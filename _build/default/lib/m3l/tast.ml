@@ -1,0 +1,111 @@
+(** Typed abstract syntax, the output of the checker and input to MIR
+    lowering. Implicit dereferences have been made explicit ([Tfield]'s base
+    always has record type, [Tindex]'s base always has array type); every
+    variable reference is resolved to a {!var_sym}. *)
+
+type var_kind =
+  | Vglobal
+  | Vlocal
+  | Vparam (* by-value parameter *)
+  | Vparam_ref (* VAR parameter: the slot holds the address of the actual *)
+  | Valias (* WITH-bound alias over a designator: slot holds an address *)
+
+type var_sym = {
+  v_id : int; (* unique within the program *)
+  v_name : string;
+  v_ty : Types.ty; (* the type of the denoted value (not the slot) *)
+  v_kind : var_kind;
+}
+
+type proc_sym = {
+  p_id : int;
+  p_name : string;
+  p_params : var_sym list;
+  p_ret : Types.ty; (* Tunit for proper procedures *)
+}
+
+type builtin =
+  | Bput_int
+  | Bput_char
+  | Bput_text
+  | Bput_ln
+  | Bhalt
+
+type tunop = Uneg | Unot | Uabs
+
+type tbinop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Bmin
+  | Bmax
+  | Beq
+  | Bneq
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band (* short-circuit *)
+  | Bor (* short-circuit *)
+
+type texpr = { desc : tdesc; ty : Types.ty; loc : Srcloc.t }
+
+and tdesc =
+  | Tconst_int of int
+  | Tconst_bool of bool
+  | Tconst_char of char
+  | Tconst_nil
+  | Tconst_text of string (* static TEXT literal *)
+  | Tvar of var_sym
+  | Tfield of texpr * int * string (* base place of record type, word offset *)
+  | Tindex of texpr * texpr (* base place of (fixed or open) array type *)
+  | Tderef of texpr (* base of ref type; yields a heap place *)
+  | Tbinop of tbinop * texpr * texpr
+  | Tunop of tunop * texpr
+  | Tconvert of texpr (* identity conversion (ORD/CHR): retype only *)
+  | Tcall of call
+  | Tnew of Types.ty * texpr option (* referent type; length for open arrays *)
+  | Tnumber of texpr (* length of an open-array place *)
+
+and call = { callee : callee; args : targ list; ret : Types.ty }
+and callee = Cuser of proc_sym | Cbuiltin of builtin
+
+and targ =
+  | Aval of texpr
+  | Aref of texpr (* place passed by reference (VAR parameter) *)
+
+type tstmt =
+  | Sassign of texpr * texpr (* place := value *)
+  | Scall of call
+  | Sif of (texpr * tstmt list) list * tstmt list
+  | Swhile of texpr * tstmt list
+  | Sfor of var_sym * texpr * texpr * int * tstmt list
+  | Sreturn of texpr option
+  | Swith_alias of var_sym * texpr * tstmt list (* alias over a place *)
+  | Swith_value of var_sym * texpr * tstmt list
+
+type tproc = {
+  sym : proc_sym;
+  locals : var_sym list; (* not including params; includes WITH/FOR temps *)
+  body : tstmt list;
+}
+
+type tprogram = {
+  prog_name : string;
+  globals : var_sym list;
+  procs : tproc list;
+  main : tproc; (* module body as a parameterless procedure *)
+  text_ty : Types.ty; (* the TEXT type, REF ARRAY OF CHAR *)
+}
+
+(** Is this typed expression a place (assignable / addressable designator)? *)
+let rec is_place e =
+  match e.desc with
+  | Tvar _ -> true
+  | Tfield (b, _, _) -> is_place b
+  | Tindex (b, _) -> is_place b
+  | Tderef _ -> true
+  | Tconst_int _ | Tconst_bool _ | Tconst_char _ | Tconst_nil | Tconst_text _
+  | Tbinop _ | Tunop _ | Tconvert _ | Tcall _ | Tnew _ | Tnumber _ -> false

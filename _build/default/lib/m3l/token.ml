@@ -1,0 +1,148 @@
+(** Lexical tokens of M3L, the Modula-3-like source language. *)
+
+type t =
+  | IDENT of string
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STR_LIT of string
+  (* Keywords *)
+  | MODULE
+  | TYPE
+  | VAR
+  | PROCEDURE
+  | BEGIN
+  | END
+  | IF
+  | THEN
+  | ELSIF
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | TO
+  | BY
+  | RETURN
+  | RECORD
+  | ARRAY
+  | OF
+  | REF
+  | WITH
+  | DIV
+  | MOD
+  | AND
+  | OR
+  | NOT
+  | NIL
+  | TRUE
+  | FALSE
+  (* Punctuation and operators *)
+  | SEMI
+  | COMMA
+  | COLON
+  | DOT
+  | DOTDOT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | CARET
+  | ASSIGN (* := *)
+  | EQ (* = *)
+  | NEQ (* # *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | EOF
+
+let keyword_table : (string * t) list =
+  [
+    ("MODULE", MODULE);
+    ("TYPE", TYPE);
+    ("VAR", VAR);
+    ("PROCEDURE", PROCEDURE);
+    ("BEGIN", BEGIN);
+    ("END", END);
+    ("IF", IF);
+    ("THEN", THEN);
+    ("ELSIF", ELSIF);
+    ("ELSE", ELSE);
+    ("WHILE", WHILE);
+    ("DO", DO);
+    ("FOR", FOR);
+    ("TO", TO);
+    ("BY", BY);
+    ("RETURN", RETURN);
+    ("RECORD", RECORD);
+    ("ARRAY", ARRAY);
+    ("OF", OF);
+    ("REF", REF);
+    ("WITH", WITH);
+    ("DIV", DIV);
+    ("MOD", MOD);
+    ("AND", AND);
+    ("OR", OR);
+    ("NOT", NOT);
+    ("NIL", NIL);
+    ("TRUE", TRUE);
+    ("FALSE", FALSE);
+  ]
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | CHAR_LIT c -> Printf.sprintf "character %C" c
+  | STR_LIT s -> Printf.sprintf "string %S" s
+  | MODULE -> "MODULE"
+  | TYPE -> "TYPE"
+  | VAR -> "VAR"
+  | PROCEDURE -> "PROCEDURE"
+  | BEGIN -> "BEGIN"
+  | END -> "END"
+  | IF -> "IF"
+  | THEN -> "THEN"
+  | ELSIF -> "ELSIF"
+  | ELSE -> "ELSE"
+  | WHILE -> "WHILE"
+  | DO -> "DO"
+  | FOR -> "FOR"
+  | TO -> "TO"
+  | BY -> "BY"
+  | RETURN -> "RETURN"
+  | RECORD -> "RECORD"
+  | ARRAY -> "ARRAY"
+  | OF -> "OF"
+  | REF -> "REF"
+  | WITH -> "WITH"
+  | DIV -> "DIV"
+  | MOD -> "MOD"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | NIL -> "NIL"
+  | TRUE -> "TRUE"
+  | FALSE -> "FALSE"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | DOTDOT -> "'..'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | CARET -> "'^'"
+  | ASSIGN -> "':='"
+  | EQ -> "'='"
+  | NEQ -> "'#'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"

@@ -1,0 +1,624 @@
+open Support
+
+let err = M3l_error.type_error
+
+(* ------------------------------------------------------------------ *)
+(* Type resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type tenv = {
+  mutable decls : Ast.type_expr Ints.Smap.t; (* unresolved TYPE decls *)
+  mutable resolved : Types.ty Ints.Smap.t;
+  mutable in_progress : int Ints.Smap.t; (* name -> ref depth at entry *)
+  mutable guard : int; (* bound on re-entrant resolution *)
+}
+
+let text_ty = Types.Tref (Types.Topen Types.Tchar)
+
+(* [refs] counts the REF constructors crossed on the path from the
+   outermost resolution; a recursive mention of an in-progress name is
+   legal exactly when at least one REF separates it from its own
+   definition (otherwise the type would embed itself and have infinite
+   size). [allow_open] permits an open array, which may appear only
+   directly under REF. *)
+let rec resolve_type (env : tenv) ~refs ?(allow_open = false) (t : Ast.type_expr) :
+    Types.ty =
+  match t with
+  | Ast.Tname (name, loc) -> resolve_name env ~refs ~allow_open name loc
+  | Ast.Tref (t, _) -> Types.Tref (resolve_type env ~refs:(refs + 1) ~allow_open:true t)
+  | Ast.Trecord (fields, loc) ->
+      let r = Types.fresh_record "" in
+      r.Types.fields <- List.map (fun (f, ft) -> (f, resolve_type env ~refs ft)) fields;
+      let names = List.map fst fields in
+      let sorted = List.sort_uniq compare names in
+      if List.length sorted <> List.length names then
+        err loc "duplicate field name in record";
+      Types.Trecord r
+  | Ast.Tarray (lo, hi, elt, loc) ->
+      if hi < lo then err loc "array upper bound below lower bound";
+      Types.Tarray { lo; hi; elt = resolve_type env ~refs elt }
+  | Ast.Topen_array (elt, loc) ->
+      if not allow_open then err loc "open arrays are only allowed under REF";
+      Types.Topen (resolve_type env ~refs elt)
+
+and resolve_name env ~refs ~allow_open name loc =
+  let check_open ty =
+    match ty with
+    | Types.Topen _ when not allow_open ->
+        err loc "open array type %s is only allowed under REF" name
+    | _ -> ty
+  in
+  match name with
+  | "INTEGER" -> Types.Tint
+  | "BOOLEAN" -> Types.Tbool
+  | "CHAR" -> Types.Tchar
+  | "TEXT" -> text_ty
+  | _ -> (
+      (* The in-progress check must come before the resolved map: a record
+         pre-allocated in [resolved] must not silence an illegal
+         self-embedding. *)
+      match Ints.Smap.find_opt name env.in_progress with
+      | Some entry_refs when refs <= entry_refs ->
+          err loc "illegal recursive type %s (recursion must go through REF)" name
+      | Some _ -> (
+          (* Legal re-entry through a REF. Records were pre-allocated; other
+             definitions are re-resolved (bounded by guard). *)
+          env.guard <- env.guard + 1;
+          if env.guard > 10_000 then err loc "type %s is too deeply recursive" name;
+          match Ints.Smap.find_opt name env.resolved with
+          | Some ty -> check_open ty
+          | None -> (
+              match Ints.Smap.find_opt name env.decls with
+              | None -> err loc "unknown type %s" name
+              | Some def -> check_open (resolve_type env ~refs ~allow_open def)))
+      | None -> (
+          match Ints.Smap.find_opt name env.resolved with
+          | Some ty -> check_open ty
+          | None -> (
+              match Ints.Smap.find_opt name env.decls with
+              | None -> err loc "unknown type %s" name
+              | Some def ->
+                  env.in_progress <- Ints.Smap.add name refs env.in_progress;
+                  let ty =
+                    match def with
+                    | Ast.Trecord (fields, floc) ->
+                        (* Pre-allocate so recursive mentions resolve to the
+                           same record. *)
+                        let r = Types.fresh_record name in
+                        env.resolved <- Ints.Smap.add name (Types.Trecord r) env.resolved;
+                        r.Types.fields <-
+                          List.map (fun (f, ft) -> (f, resolve_type env ~refs ft)) fields;
+                        let names = List.map fst fields in
+                        if
+                          List.length (List.sort_uniq compare names)
+                          <> List.length names
+                        then err floc "duplicate field name in record %s" name;
+                        Types.Trecord r
+                    | other -> resolve_type env ~refs ~allow_open:true other
+                  in
+                  env.resolved <- Ints.Smap.add name ty env.resolved;
+                  env.in_progress <- Ints.Smap.remove name env.in_progress;
+                  check_open ty)))
+
+(* ------------------------------------------------------------------ *)
+(* Value environment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type venv = {
+  tenv : tenv;
+  procs : Tast.proc_sym Ints.Smap.t;
+  mutable scope : Tast.var_sym Ints.Smap.t;
+  mutable next_var : int ref;
+  mutable proc_locals : Tast.var_sym list; (* accumulates WITH/FOR temps *)
+  current_ret : Types.ty;
+}
+
+let fresh_var env ?(kind = Tast.Vlocal) name ty : Tast.var_sym =
+  let id = !(env.next_var) in
+  incr env.next_var;
+  { Tast.v_id = id; v_name = name; v_ty = ty; v_kind = kind }
+
+let lookup_var env name loc =
+  match Ints.Smap.find_opt name env.scope with
+  | Some v -> v
+  | None -> err loc "unknown variable %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk desc ty loc : Tast.texpr = { Tast.desc; ty; loc }
+
+let require_int (e : Tast.texpr) =
+  if not (Types.equal e.ty Types.Tint) then
+    err e.loc "expected INTEGER, found %s" (Types.to_string e.ty)
+
+let require_bool (e : Tast.texpr) =
+  if not (Types.equal e.ty Types.Tbool) then
+    err e.loc "expected BOOLEAN, found %s" (Types.to_string e.ty)
+
+let binop_of_ast : Ast.binop -> Tast.tbinop = function
+  | Ast.Add -> Tast.Badd
+  | Ast.Sub -> Tast.Bsub
+  | Ast.Mul -> Tast.Bmul
+  | Ast.Div -> Tast.Bdiv
+  | Ast.Mod -> Tast.Bmod
+  | Ast.Eq -> Tast.Beq
+  | Ast.Neq -> Tast.Bneq
+  | Ast.Lt -> Tast.Blt
+  | Ast.Le -> Tast.Ble
+  | Ast.Gt -> Tast.Bgt
+  | Ast.Ge -> Tast.Bge
+  | Ast.And -> Tast.Band
+  | Ast.Or -> Tast.Bor
+
+(* Auto-deref: if [e] is a REF to record/array and a place is wanted,
+   insert an explicit dereference. *)
+let auto_deref (e : Tast.texpr) =
+  match e.ty with
+  | Types.Tref inner -> mk (Tast.Tderef e) inner e.loc
+  | Types.Tint | Types.Tbool | Types.Tchar | Types.Trecord _ | Types.Tarray _
+  | Types.Topen _ | Types.Tnil | Types.Tunit -> e
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  match e with
+  | Ast.Int_lit (n, l) -> mk (Tast.Tconst_int n) Types.Tint l
+  | Ast.Char_lit (c, l) -> mk (Tast.Tconst_char c) Types.Tchar l
+  | Ast.Bool_lit (b, l) -> mk (Tast.Tconst_bool b) Types.Tbool l
+  | Ast.Str_lit (s, l) -> mk (Tast.Tconst_text s) text_ty l
+  | Ast.Nil_lit l -> mk Tast.Tconst_nil Types.Tnil l
+  | Ast.Var (name, l) ->
+      let v = lookup_var env name l in
+      mk (Tast.Tvar v) v.Tast.v_ty l
+  | Ast.Field (base, fname, l) -> (
+      let b = auto_deref (check_expr env base) in
+      match b.ty with
+      | Types.Trecord r -> (
+          match Types.field_offset r fname with
+          | Some (off, fty) -> mk (Tast.Tfield (b, off, fname)) fty l
+          | None -> err l "record %s has no field %s" r.Types.rec_name fname)
+      | other -> err l "field selection on non-record type %s" (Types.to_string other))
+  | Ast.Index (base, idx, l) -> (
+      let b = auto_deref (check_expr env base) in
+      let i = check_expr env idx in
+      (match i.ty with
+      | Types.Tint | Types.Tchar -> ()
+      | other -> err i.loc "array index must be INTEGER or CHAR, found %s" (Types.to_string other));
+      match b.ty with
+      | Types.Tarray { elt; _ } -> mk (Tast.Tindex (b, i)) elt l
+      | Types.Topen elt -> mk (Tast.Tindex (b, i)) elt l
+      | other -> err l "indexing a non-array type %s" (Types.to_string other))
+  | Ast.Deref (base, l) -> (
+      let b = check_expr env base in
+      match b.ty with
+      | Types.Tref inner -> mk (Tast.Tderef b) inner l
+      | other -> err l "dereference of non-REF type %s" (Types.to_string other))
+  | Ast.Unop (Ast.Neg, e, l) ->
+      let te = check_expr env e in
+      require_int te;
+      mk (Tast.Tunop (Tast.Uneg, te)) Types.Tint l
+  | Ast.Unop (Ast.Not, e, l) ->
+      let te = check_expr env e in
+      require_bool te;
+      mk (Tast.Tunop (Tast.Unot, te)) Types.Tbool l
+  | Ast.Binop (op, a, b, l) -> check_binop env op a b l
+  | Ast.New_expr (te, len, l) -> (
+      let ty = resolve_type env.tenv ~refs:0 te in
+      match ty with
+      | Types.Tref (Types.Topen elt) -> (
+          match len with
+          | None -> err l "NEW of an open array type needs a length argument"
+          | Some n ->
+              let tn = check_expr env n in
+              require_int tn;
+              ignore (Types.size_words elt);
+              mk (Tast.Tnew (Types.Topen elt, Some tn)) ty l)
+      | Types.Tref inner -> (
+          match len with
+          | Some _ -> err l "NEW of a fixed-size type takes no length argument"
+          | None -> mk (Tast.Tnew (inner, None)) ty l)
+      | other -> err l "NEW requires a REF type, found %s" (Types.to_string other))
+  | Ast.Call_expr (name, args, l) -> check_call_expr env name args l
+
+and check_binop env op a b l : Tast.texpr =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      require_int ta;
+      require_int tb;
+      mk (Tast.Tbinop (binop_of_ast op, ta, tb)) Types.Tint l
+  | Ast.And | Ast.Or ->
+      require_bool ta;
+      require_bool tb;
+      mk (Tast.Tbinop (binop_of_ast op, ta, tb)) Types.Tbool l
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      (match (ta.ty, tb.ty) with
+      | Types.Tint, Types.Tint | Types.Tchar, Types.Tchar -> ()
+      | _ ->
+          err l "ordered comparison requires two INTEGERs or two CHARs (%s vs %s)"
+            (Types.to_string ta.ty) (Types.to_string tb.ty));
+      mk (Tast.Tbinop (binop_of_ast op, ta, tb)) Types.Tbool l
+  | Ast.Eq | Ast.Neq ->
+      let ok =
+        match (ta.ty, tb.ty) with
+        | Types.Tnil, Types.Tref _ | Types.Tref _, Types.Tnil | Types.Tnil, Types.Tnil -> true
+        | x, y -> Types.is_scalar x && Types.equal x y
+      in
+      if not ok then
+        err l "incomparable types %s and %s" (Types.to_string ta.ty) (Types.to_string tb.ty);
+      mk (Tast.Tbinop (binop_of_ast op, ta, tb)) Types.Tbool l
+
+and check_call_expr env name args l : Tast.texpr =
+  let one () =
+    match args with
+    | [ Ast.Arg e ] -> check_expr env e
+    | _ -> err l "%s expects exactly one argument" name
+  in
+  let two () =
+    match args with
+    | [ Ast.Arg a; Ast.Arg b ] -> (check_expr env a, check_expr env b)
+    | _ -> err l "%s expects exactly two arguments" name
+  in
+  match name with
+  | "ORD" ->
+      let e = one () in
+      (match e.ty with
+      | Types.Tchar | Types.Tbool | Types.Tint -> ()
+      | other -> err l "ORD requires CHAR/BOOLEAN/INTEGER, found %s" (Types.to_string other));
+      mk (Tast.Tconvert e) Types.Tint l
+  | "CHR" ->
+      let e = one () in
+      require_int e;
+      mk (Tast.Tconvert e) Types.Tchar l
+  | "ABS" ->
+      let e = one () in
+      require_int e;
+      mk (Tast.Tunop (Tast.Uabs, e)) Types.Tint l
+  | "MIN" ->
+      let a, b = two () in
+      require_int a;
+      require_int b;
+      mk (Tast.Tbinop (Tast.Bmin, a, b)) Types.Tint l
+  | "MAX" ->
+      let a, b = two () in
+      require_int a;
+      require_int b;
+      mk (Tast.Tbinop (Tast.Bmax, a, b)) Types.Tint l
+  | "NUMBER" -> (
+      let e = one () in
+      match e.ty with
+      | Types.Tarray { lo; hi; _ } -> mk (Tast.Tconst_int (hi - lo + 1)) Types.Tint l
+      | Types.Topen _ -> mk (Tast.Tnumber e) Types.Tint l
+      | Types.Tref (Types.Topen _) -> mk (Tast.Tnumber (auto_deref e)) Types.Tint l
+      | other -> err l "NUMBER requires an array, found %s" (Types.to_string other))
+  | "FIRST" -> (
+      let e = one () in
+      match e.ty with
+      | Types.Tarray { lo; _ } -> mk (Tast.Tconst_int lo) Types.Tint l
+      | Types.Topen _ | Types.Tref (Types.Topen _) -> mk (Tast.Tconst_int 0) Types.Tint l
+      | other -> err l "FIRST requires an array, found %s" (Types.to_string other))
+  | "LAST" -> (
+      let e = one () in
+      match e.ty with
+      | Types.Tarray { hi; _ } -> mk (Tast.Tconst_int hi) Types.Tint l
+      | Types.Topen _ -> mk (Tast.Tbinop (Tast.Bsub, mk (Tast.Tnumber e) Types.Tint l,
+                                          mk (Tast.Tconst_int 1) Types.Tint l)) Types.Tint l
+      | Types.Tref (Types.Topen _) ->
+          let place = auto_deref e in
+          mk (Tast.Tbinop (Tast.Bsub, mk (Tast.Tnumber place) Types.Tint l,
+                           mk (Tast.Tconst_int 1) Types.Tint l)) Types.Tint l
+      | other -> err l "LAST requires an array, found %s" (Types.to_string other))
+  | _ -> (
+      match Ints.Smap.find_opt name env.procs with
+      | None -> err l "unknown procedure %s" name
+      | Some psym ->
+          if Types.equal psym.Tast.p_ret Types.Tunit then
+            err l "procedure %s returns no value and cannot be used in an expression" name;
+          let call = check_user_call env psym args l in
+          mk (Tast.Tcall call) psym.Tast.p_ret l)
+
+and check_user_call env (psym : Tast.proc_sym) args l : Tast.call =
+  let nparams = List.length psym.Tast.p_params in
+  if List.length args <> nparams then
+    err l "procedure %s expects %d argument(s), got %d" psym.Tast.p_name nparams
+      (List.length args);
+  let targs =
+    List.map2
+      (fun (p : Tast.var_sym) (Ast.Arg a) ->
+        let ta = check_expr env a in
+        match p.Tast.v_kind with
+        | Tast.Vparam_ref ->
+            if not (Tast.is_place ta) then
+              err ta.Tast.loc "argument to VAR parameter %s must be a designator"
+                p.Tast.v_name;
+            if not (Types.equal ta.Tast.ty p.Tast.v_ty) then
+              err ta.Tast.loc "VAR parameter %s expects %s, got %s" p.Tast.v_name
+                (Types.to_string p.Tast.v_ty)
+                (Types.to_string ta.Tast.ty);
+            Tast.Aref ta
+        | Tast.Vparam ->
+            if not (Types.assignable ~dst:p.Tast.v_ty ~src:ta.Tast.ty) then
+              err ta.Tast.loc "parameter %s expects %s, got %s" p.Tast.v_name
+                (Types.to_string p.Tast.v_ty)
+                (Types.to_string ta.Tast.ty);
+            Tast.Aval ta
+        | Tast.Vglobal | Tast.Vlocal | Tast.Valias ->
+            err l "internal: parameter with non-parameter kind")
+      psym.Tast.p_params args
+  in
+  { Tast.callee = Tast.Cuser psym; args = targs; ret = psym.Tast.p_ret }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_builtin_call env name args l : Tast.call option =
+  let mkcall b args = Some { Tast.callee = Tast.Cbuiltin b; args; ret = Types.Tunit } in
+  match (name, args) with
+  | "PutInt", [ Ast.Arg e ] ->
+      let te = check_expr env e in
+      require_int te;
+      mkcall Tast.Bput_int [ Tast.Aval te ]
+  | "PutChar", [ Ast.Arg e ] ->
+      let te = check_expr env e in
+      (match te.Tast.ty with
+      | Types.Tchar -> ()
+      | other -> err l "PutChar requires CHAR, found %s" (Types.to_string other));
+      mkcall Tast.Bput_char [ Tast.Aval te ]
+  | "PutText", [ Ast.Arg e ] ->
+      let te = check_expr env e in
+      if not (Types.equal te.Tast.ty text_ty) then
+        err l "PutText requires TEXT, found %s" (Types.to_string te.Tast.ty);
+      mkcall Tast.Bput_text [ Tast.Aval te ]
+  | "PutLn", [] -> mkcall Tast.Bput_ln []
+  | "Halt", [] -> mkcall Tast.Bhalt []
+  | ("PutInt" | "PutChar" | "PutText" | "PutLn" | "Halt"), _ ->
+      err l "wrong arguments for builtin %s" name
+  | _ -> None
+
+let rec check_stmts env stmts = List.map (check_stmt env) stmts
+
+and check_stmt env (s : Ast.stmt) : Tast.tstmt =
+  match s with
+  | Ast.Assign (lhs, rhs, l) ->
+      let tl = check_expr env lhs in
+      if not (Tast.is_place tl) then err l "left-hand side of := is not a designator";
+      if not (Types.is_scalar tl.Tast.ty) then
+        err l "only scalar and REF values can be assigned (type %s)"
+          (Types.to_string tl.Tast.ty);
+      let tr = check_expr env rhs in
+      if not (Types.assignable ~dst:tl.Tast.ty ~src:tr.Tast.ty) then
+        err l "cannot assign %s to %s" (Types.to_string tr.Tast.ty)
+          (Types.to_string tl.Tast.ty);
+      Tast.Sassign (tl, tr)
+  | Ast.Call_stmt (name, args, l) -> (
+      match check_builtin_call env name args l with
+      | Some call -> Tast.Scall call
+      | None -> (
+          match Ints.Smap.find_opt name env.procs with
+          | None -> err l "unknown procedure %s" name
+          | Some psym -> Tast.Scall (check_user_call env psym args l)))
+  | Ast.If (branches, els, _) ->
+      let tbranches =
+        List.map
+          (fun (c, body) ->
+            let tc = check_expr env c in
+            require_bool tc;
+            (tc, check_scoped env body))
+          branches
+      in
+      Tast.Sif (tbranches, check_scoped env els)
+  | Ast.While (c, body, _) ->
+      let tc = check_expr env c in
+      require_bool tc;
+      Tast.Swhile (tc, check_scoped env body)
+  | Ast.For (vname, lo, hi, step, body, l) ->
+      let tlo = check_expr env lo in
+      let thi = check_expr env hi in
+      require_int tlo;
+      require_int thi;
+      ignore l;
+      let v = fresh_var env vname Types.Tint in
+      env.proc_locals <- v :: env.proc_locals;
+      let saved = env.scope in
+      env.scope <- Ints.Smap.add vname v env.scope;
+      let tbody = check_stmts env body in
+      env.scope <- saved;
+      Tast.Sfor (v, tlo, thi, step, tbody)
+  | Ast.Return (e, l) -> (
+      match (e, env.current_ret) with
+      | None, Types.Tunit -> Tast.Sreturn None
+      | None, ty -> err l "RETURN needs a value of type %s" (Types.to_string ty)
+      | Some _, Types.Tunit -> err l "this procedure returns no value"
+      | Some e, ty ->
+          let te = check_expr env e in
+          if not (Types.assignable ~dst:ty ~src:te.Tast.ty) then
+            err l "RETURN type mismatch: expected %s, got %s" (Types.to_string ty)
+              (Types.to_string te.Tast.ty);
+          Tast.Sreturn (Some te))
+  | Ast.With (vname, e, body, _) ->
+      let te = check_expr env e in
+      let is_alias = Tast.is_place te in
+      let kind = if is_alias then Tast.Valias else Tast.Vlocal in
+      if not is_alias && not (Types.is_scalar te.Tast.ty) then
+        err te.Tast.loc "WITH over a non-designator requires a scalar value";
+      let v = fresh_var env ~kind vname te.Tast.ty in
+      env.proc_locals <- v :: env.proc_locals;
+      let saved = env.scope in
+      env.scope <- Ints.Smap.add vname v env.scope;
+      let tbody = check_stmts env body in
+      env.scope <- saved;
+      if is_alias then Tast.Swith_alias (v, te, tbody)
+      else Tast.Swith_value (v, te, tbody)
+
+and check_scoped env body =
+  let saved = env.scope in
+  let r = check_stmts env body in
+  env.scope <- saved;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check (cu : Ast.compilation_unit) : Tast.tprogram =
+  let tenv =
+    { decls = Ints.Smap.empty; resolved = Ints.Smap.empty; in_progress = Ints.Smap.empty; guard = 0 }
+  in
+  List.iter
+    (function
+      | Ast.Type_decl (name, def, loc) ->
+          if Ints.Smap.mem name tenv.decls then err loc "duplicate type %s" name;
+          tenv.decls <- Ints.Smap.add name def tenv.decls
+      | Ast.Var_decl _ | Ast.Proc_decl _ -> ())
+    cu.Ast.decls;
+  (* Force resolution of all declared types (detects bad definitions even if
+     unused). *)
+  Ints.Smap.iter
+    (fun name def ->
+      ignore
+        (resolve_name tenv ~refs:0 ~allow_open:true name
+           (match def with
+           | Ast.Tname (_, l) | Ast.Trecord (_, l) | Ast.Tarray (_, _, _, l)
+           | Ast.Topen_array (_, l) | Ast.Tref (_, l) -> l)))
+    tenv.decls;
+
+  let next_var = ref 0 in
+  (* Globals. *)
+  let globals = ref [] in
+  let global_scope = ref Ints.Smap.empty in
+  List.iter
+    (function
+      | Ast.Var_decl (name, te, loc) ->
+          if Ints.Smap.mem name !global_scope then err loc "duplicate global %s" name;
+          let ty = resolve_type tenv ~refs:0 te in
+          (match ty with
+          | Types.Topen _ -> err loc "global %s: open arrays must be under REF" name
+          | _ -> ());
+          let v =
+            { Tast.v_id = !next_var; v_name = name; v_ty = ty; v_kind = Tast.Vglobal }
+          in
+          incr next_var;
+          globals := v :: !globals;
+          global_scope := Ints.Smap.add name v !global_scope
+      | Ast.Type_decl _ | Ast.Proc_decl _ -> ())
+    cu.Ast.decls;
+
+  (* Procedure signatures (two passes to allow forward calls). *)
+  let next_proc = ref 0 in
+  let proc_syms = ref Ints.Smap.empty in
+  let proc_decls =
+    List.filter_map
+      (function Ast.Proc_decl p -> Some p | Ast.Type_decl _ | Ast.Var_decl _ -> None)
+      cu.Ast.decls
+  in
+  List.iter
+    (fun (p : Ast.proc_decl) ->
+      if Ints.Smap.mem p.Ast.proc_name !proc_syms then
+        err p.Ast.proc_loc "duplicate procedure %s" p.Ast.proc_name;
+      let params =
+        List.map
+          (fun (prm : Ast.param) ->
+            let ty = resolve_type tenv ~refs:0 prm.Ast.p_type in
+            (match ty with
+            | Types.Topen _ ->
+                err prm.Ast.p_loc "open array parameters are not supported; pass a REF"
+            | _ -> ());
+            if (not prm.Ast.p_var) && not (Types.is_scalar ty) then
+              err prm.Ast.p_loc
+                "records and arrays must be passed as VAR parameters or by REF";
+            let v =
+              {
+                Tast.v_id = !next_var;
+                v_name = prm.Ast.p_name;
+                v_ty = ty;
+                v_kind = (if prm.Ast.p_var then Tast.Vparam_ref else Tast.Vparam);
+              }
+            in
+            incr next_var;
+            v)
+          p.Ast.params
+      in
+      let ret =
+        match p.Ast.ret_type with
+        | None -> Types.Tunit
+        | Some t -> (
+            let ty = resolve_type tenv ~refs:0 t in
+            match ty with
+            | ty when Types.is_scalar ty -> ty
+            | other ->
+                err p.Ast.proc_loc "procedures can only return scalar or REF values, not %s"
+                  (Types.to_string other))
+      in
+      let sym =
+        { Tast.p_id = !next_proc; p_name = p.Ast.proc_name; p_params = params; p_ret = ret }
+      in
+      incr next_proc;
+      proc_syms := Ints.Smap.add p.Ast.proc_name sym !proc_syms)
+    proc_decls;
+
+  (* Check each procedure body. *)
+  let check_proc (p : Ast.proc_decl) : Tast.tproc =
+    let sym = Ints.Smap.find p.Ast.proc_name !proc_syms in
+    let env =
+      {
+        tenv;
+        procs = !proc_syms;
+        scope = !global_scope;
+        next_var = ref 0;
+        proc_locals = [];
+        current_ret = sym.Tast.p_ret;
+      }
+    in
+    env.next_var <- next_var;
+    List.iter
+      (fun (v : Tast.var_sym) -> env.scope <- Ints.Smap.add v.Tast.v_name v env.scope)
+      sym.Tast.p_params;
+    let locals =
+      List.map
+        (fun (name, te, loc) ->
+          if Ints.Smap.mem name env.scope &&
+             (match Ints.Smap.find name env.scope with
+              | { Tast.v_kind = Tast.Vparam | Tast.Vparam_ref; _ } -> true
+              | _ -> false)
+          then err loc "local %s shadows a parameter" name;
+          let ty = resolve_type tenv ~refs:0 te in
+          (match ty with
+          | Types.Topen _ -> err loc "local %s: open arrays must be under REF" name
+          | _ -> ());
+          let v = fresh_var env name ty in
+          env.scope <- Ints.Smap.add name v env.scope;
+          v)
+        p.Ast.locals
+    in
+    let body = check_stmts env p.Ast.body in
+    { Tast.sym; locals = locals @ List.rev env.proc_locals; body }
+  in
+  let procs = List.map check_proc proc_decls in
+
+  (* Module body as a synthetic parameterless procedure. *)
+  let main_sym =
+    { Tast.p_id = !next_proc; p_name = "$main"; p_params = []; p_ret = Types.Tunit }
+  in
+  let env =
+    {
+      tenv;
+      procs = !proc_syms;
+      scope = !global_scope;
+      next_var;
+      proc_locals = [];
+      current_ret = Types.Tunit;
+    }
+  in
+  let main_body = check_stmts env cu.Ast.main in
+  let main = { Tast.sym = main_sym; locals = List.rev env.proc_locals; body = main_body } in
+  {
+    Tast.prog_name = cu.Ast.module_name;
+    globals = List.rev !globals;
+    procs;
+    main;
+    text_ty;
+  }
+
+let check_source src = check (Parser.parse src)

@@ -1,0 +1,9 @@
+(** Static checker: resolves names and types, inserts implicit dereferences,
+    resolves intrinsics (ORD, CHR, ABS, MIN, MAX, NUMBER, FIRST, LAST), and
+    produces the typed AST consumed by MIR lowering. *)
+
+val check : Ast.compilation_unit -> Tast.tprogram
+(** @raise M3l_error.Type_error on ill-typed programs. *)
+
+val check_source : string -> Tast.tprogram
+(** Lex, parse and check in one step. *)

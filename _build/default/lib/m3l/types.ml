@@ -1,0 +1,109 @@
+(** Semantic types of M3L.
+
+    All scalars occupy one word. Records and fixed arrays may be embedded
+    (in other records, arrays, or stack frames); open arrays exist only on
+    the heap, under [Tref]. Record identity is nominal via [rec_id], which
+    also permits recursive types ([fields] is filled in after allocation). *)
+
+type ty =
+  | Tint
+  | Tbool
+  | Tchar
+  | Trecord of record_info
+  | Tarray of array_info (* fixed bounds *)
+  | Topen of ty (* open array; only under Tref *)
+  | Tref of ty
+  | Tnil (* type of NIL, compatible with any Tref *)
+  | Tunit (* "no value"; procedure return *)
+
+and record_info = {
+  rec_id : int;
+  rec_name : string;
+  mutable fields : (string * ty) list;
+}
+
+and array_info = { lo : int; hi : int; elt : ty }
+
+let next_rec_id = ref 0
+
+let fresh_record name =
+  let id = !next_rec_id in
+  incr next_rec_id;
+  { rec_id = id; rec_name = name; fields = [] }
+
+let rec equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tchar, Tchar | Tnil, Tnil | Tunit, Tunit -> true
+  | Trecord r1, Trecord r2 -> r1.rec_id = r2.rec_id
+  | Tarray a1, Tarray a2 -> a1.lo = a2.lo && a1.hi = a2.hi && equal a1.elt a2.elt
+  | Topen t1, Topen t2 -> equal t1 t2
+  | Tref t1, Tref t2 -> equal t1 t2
+  | (Tint | Tbool | Tchar | Trecord _ | Tarray _ | Topen _ | Tref _ | Tnil | Tunit), _ ->
+      false
+
+(** [assignable ~dst ~src]: may a value of type [src] be stored into a
+    location of type [dst]? *)
+let assignable ~dst ~src =
+  match (dst, src) with
+  | Tref _, Tnil -> true
+  | _ -> equal dst src
+
+(** Size in words of an embedded value of this type. Open arrays have no
+    embedded size. *)
+let rec size_words = function
+  | Tint | Tbool | Tchar | Tref _ | Tnil -> 1
+  | Trecord r -> List.fold_left (fun acc (_, t) -> acc + size_words t) 0 r.fields
+  | Tarray { lo; hi; elt } ->
+      let n = hi - lo + 1 in
+      if n < 0 then 0 else n * size_words elt
+  | Topen _ -> invalid_arg "Types.size_words: open array has no embedded size"
+  | Tunit -> invalid_arg "Types.size_words: unit has no size"
+
+let is_ref = function Tref _ | Tnil -> true | Tint | Tbool | Tchar | Trecord _ | Tarray _ | Topen _ | Tunit -> false
+let is_scalar = function Tint | Tbool | Tchar | Tref _ | Tnil -> true | Trecord _ | Tarray _ | Topen _ | Tunit -> false
+
+(** Word offsets (relative to the start of the embedded value) that hold
+    pointers. *)
+let rec pointer_offsets ty =
+  match ty with
+  | Tref _ -> [ 0 ]
+  | Tint | Tbool | Tchar | Tnil | Tunit -> []
+  | Trecord r ->
+      let _, offs =
+        List.fold_left
+          (fun (off, acc) (_, fty) ->
+            let sub = List.map (fun o -> o + off) (pointer_offsets fty) in
+            (off + size_words fty, acc @ sub))
+          (0, []) r.fields
+      in
+      offs
+  | Tarray { lo; hi; elt } ->
+      let n = hi - lo + 1 in
+      let esz = size_words elt in
+      let eoffs = pointer_offsets elt in
+      if eoffs = [] then []
+      else
+        List.concat (List.init (max 0 n) (fun i -> List.map (fun o -> (i * esz) + o) eoffs))
+  | Topen _ -> invalid_arg "Types.pointer_offsets: open array"
+
+(** Field lookup: returns (word offset, field type). *)
+let field_offset r name =
+  let rec go off = function
+    | [] -> None
+    | (f, fty) :: _ when f = name -> Some (off, fty)
+    | (_, fty) :: rest -> go (off + size_words fty) rest
+  in
+  go 0 r.fields
+
+let rec pp fmt = function
+  | Tint -> Format.fprintf fmt "INTEGER"
+  | Tbool -> Format.fprintf fmt "BOOLEAN"
+  | Tchar -> Format.fprintf fmt "CHAR"
+  | Trecord r -> Format.fprintf fmt "%s" (if r.rec_name = "" then "RECORD..." else r.rec_name)
+  | Tarray { lo; hi; elt } -> Format.fprintf fmt "ARRAY [%d..%d] OF %a" lo hi pp elt
+  | Topen t -> Format.fprintf fmt "ARRAY OF %a" pp t
+  | Tref t -> Format.fprintf fmt "REF %a" pp t
+  | Tnil -> Format.fprintf fmt "NIL"
+  | Tunit -> Format.fprintf fmt "(no type)"
+
+let to_string t = Format.asprintf "%a" pp t

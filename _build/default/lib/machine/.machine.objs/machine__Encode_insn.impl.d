@@ -1,0 +1,1 @@
+lib/machine/encode_insn.ml: Array Insn List Support Varint

@@ -1,0 +1,44 @@
+(** Byte-size model of UVM instructions.
+
+    Each instruction is assigned a realistic encoded size: one opcode byte
+    plus per-operand bytes (a mode byte plus packed displacements, in the
+    Fig. 3 varint format). Code size in bytes — the denominator of the
+    paper's Tables 1 and 2 — is the sum over the code array. *)
+
+open Support
+
+let operand_bytes = function
+  | Insn.Reg _ -> 1 (* mode+reg nibble pair *)
+  | Insn.Imm n -> 1 + Varint.byte_length n
+  | Insn.Mem (_, d) -> 1 + Varint.byte_length d
+  | Insn.Mem2 (_, _, d) -> 2 + Varint.byte_length d
+  | Insn.Defer (_, d1, d2) -> 1 + Varint.byte_length d1 + Varint.byte_length d2
+  | Insn.Abs a -> 1 + Varint.byte_length a
+
+(* Branch/call targets are counted as 2-byte displacements, as on the VAX
+   (branch displacement words). *)
+let target_bytes = 2
+
+let bytes = function
+  | Insn.Mov (d, s) -> 1 + operand_bytes d + operand_bytes s
+  | Insn.Lea (_, o) -> 1 + 1 + operand_bytes o
+  | Insn.Arith (_, d, a, b) -> 1 + operand_bytes d + operand_bytes a + operand_bytes b
+  | Insn.Cbr (_, a, b, _) -> 1 + operand_bytes a + operand_bytes b + target_bytes
+  | Insn.Jmp _ -> 1 + target_bytes
+  | Insn.Push o -> 1 + operand_bytes o
+  | Insn.Call _ -> 1 + target_bytes
+  | Insn.Enter { saves; _ } -> 1 + 2 (* save mask *) + Varint.byte_length (List.length saves)
+  | Insn.Leave -> 1
+  | Insn.Ret _ -> 1 + 1
+  | Insn.Trap _ -> 1
+
+let code_bytes code = Array.fold_left (fun acc i -> acc + bytes i) 0 code
+
+(** Byte offset of every instruction (for pc-to-table distance encoding). *)
+let offsets code =
+  let n = Array.length code in
+  let offs = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offs.(i + 1) <- offs.(i) + bytes code.(i)
+  done;
+  offs

@@ -1,0 +1,120 @@
+(** The UVM instruction set.
+
+    Code addresses are instruction indices into the program's code array.
+    The byte encoding in {!Encode_insn} exists to give every instruction a
+    realistic size so that "table size as a percentage of code size" (paper
+    Tables 1-2) is a genuine measurement.
+
+    Addressing modes deliberately include the two kinds the paper needs:
+    [Mem2] (two index registers, the "double indexing" of §2) and [Defer]
+    (VAX deferred addressing, which is what makes the "indirect references"
+    problem of §4 arise). *)
+
+type operand =
+  | Reg of int
+  | Imm of int
+  | Mem of int * int (* M[reg + disp] *)
+  | Mem2 of int * int * int (* M[r1 + r2 + disp] *)
+  | Defer of int * int * int (* M[ M[reg + d1] + d2 ] *)
+  | Abs of int (* M[addr] — globals *)
+
+type aop = Add | Sub | Mul | Div | Mod | Min | Max | Neg | Abso | Setcc of relop
+and relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type callee = Cproc of int (* function id *) | Crt of Mir.Ir.rt_call
+
+type t =
+  | Mov of operand * operand (* dst, src *)
+  | Lea of int * operand (* reg := effective address of Mem/Mem2/Abs *)
+  | Arith of aop * operand * operand * operand (* dst, a, b (Neg/Abs ignore b) *)
+  | Cbr of relop * operand * operand * int (* branch to code index if a REL b *)
+  | Jmp of int
+  | Push of operand
+  | Call of callee
+  | Enter of { frame_size : int; saves : int list }
+      (* prologue: push FP; FP := SP; save callee-saved regs at FP-1..;
+         zero the rest of the frame; SP := FP - frame_size *)
+  | Leave (* restore saves; SP := FP; FP := pop *)
+  | Ret of int (* pop return address and n argument words; jump *)
+  | Trap of string (* unreachable / runtime error marker *)
+
+let relop_eval r a b =
+  match r with
+  | Req -> a = b
+  | Rne -> a <> b
+  | Rlt -> a < b
+  | Rle -> a <= b
+  | Rgt -> a > b
+  | Rge -> a >= b
+
+let relop_of_ir : Mir.Ir.relop -> relop = function
+  | Mir.Ir.Req -> Req
+  | Mir.Ir.Rne -> Rne
+  | Mir.Ir.Rlt -> Rlt
+  | Mir.Ir.Rle -> Rle
+  | Mir.Ir.Rgt -> Rgt
+  | Mir.Ir.Rge -> Rge
+
+let aop_of_ir : Mir.Ir.binop -> aop = function
+  | Mir.Ir.Add -> Add
+  | Mir.Ir.Sub -> Sub
+  | Mir.Ir.Mul -> Mul
+  | Mir.Ir.Div -> Div
+  | Mir.Ir.Mod -> Mod
+  | Mir.Ir.Min -> Min
+  | Mir.Ir.Max -> Max
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "%s" (Reg.name r)
+  | Imm n -> Format.fprintf fmt "$%d" n
+  | Mem (r, d) -> Format.fprintf fmt "%d(%s)" d (Reg.name r)
+  | Mem2 (r1, r2, d) -> Format.fprintf fmt "%d(%s)[%s]" d (Reg.name r1) (Reg.name r2)
+  | Defer (r, d1, d2) -> Format.fprintf fmt "%d(@%d(%s))" d2 d1 (Reg.name r)
+  | Abs a -> Format.fprintf fmt "*%d" a
+
+let aop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Min -> "min"
+  | Max -> "max"
+  | Neg -> "neg"
+  | Abso -> "abs"
+  | Setcc Req -> "seteq"
+  | Setcc Rne -> "setne"
+  | Setcc Rlt -> "setlt"
+  | Setcc Rle -> "setle"
+  | Setcc Rgt -> "setgt"
+  | Setcc Rge -> "setge"
+
+let relop_name = function
+  | Req -> "eq"
+  | Rne -> "ne"
+  | Rlt -> "lt"
+  | Rle -> "le"
+  | Rgt -> "gt"
+  | Rge -> "ge"
+
+let pp ?(callee_name = fun _ -> None) fmt = function
+  | Mov (d, s) -> Format.fprintf fmt "mov %a, %a" pp_operand d pp_operand s
+  | Lea (r, o) -> Format.fprintf fmt "lea %s, %a" (Reg.name r) pp_operand o
+  | Arith (op, d, a, b) ->
+      Format.fprintf fmt "%s %a, %a, %a" (aop_name op) pp_operand d pp_operand a
+        pp_operand b
+  | Cbr (r, a, b, l) ->
+      Format.fprintf fmt "b%s %a, %a, @%d" (relop_name r) pp_operand a pp_operand b l
+  | Jmp l -> Format.fprintf fmt "jmp @%d" l
+  | Push o -> Format.fprintf fmt "push %a" pp_operand o
+  | Call (Cproc fid) -> (
+      match callee_name (`Proc fid) with
+      | Some n -> Format.fprintf fmt "call %s" n
+      | None -> Format.fprintf fmt "call proc%d" fid)
+  | Call (Crt rc) -> Format.fprintf fmt "call %s" (Mir.Ir.rt_name rc)
+  | Enter { frame_size; saves } ->
+      Format.fprintf fmt "enter %d, saves=[%s]" frame_size
+        (String.concat ";" (List.map Reg.name saves))
+  | Leave -> Format.fprintf fmt "leave"
+  | Ret n -> Format.fprintf fmt "ret %d" n
+  | Trap msg -> Format.fprintf fmt "trap %S" msg

@@ -1,0 +1,29 @@
+(** Register model of the UVM target, a VAX-flavoured register machine.
+
+    Twelve general registers plus dedicated FP and SP. AP (the VAX argument
+    pointer) is not a physical register here: the incoming-argument base of a
+    frame is [FP + 2], and the collector reconstructs per-frame AP values
+    while walking the stack, exactly as the paper's {FP, SP, AP} base-register
+    encoding assumes. *)
+
+let ngeneral = 12
+let fp = 12
+let sp = 13
+let nregs = 14
+
+(** r0 carries return values and is a scratch register; r1 is the second
+    scratch (both excluded from allocation). *)
+let ret = 0
+
+let scratch0 = 0
+let scratch1 = 1
+
+let is_callee_saved r = r >= 6 && r <= 11
+let callee_saved = [ 6; 7; 8; 9; 10; 11 ]
+let caller_saved_allocatable = [ 2; 3; 4; 5 ]
+
+let name r =
+  if r = fp then "fp"
+  else if r = sp then "sp"
+  else if r >= 0 && r < ngeneral then Printf.sprintf "r%d" r
+  else invalid_arg "Reg.name"

@@ -1,0 +1,1 @@
+lib/mir/deriv.ml: Format List

@@ -1,0 +1,1 @@
+lib/mir/ir.ml: Array Deriv List Rt

@@ -1,0 +1,1 @@
+lib/mir/liveness.mli: Ir Support

@@ -1,0 +1,1 @@
+lib/mir/lower.ml: Array Char Deriv Growarr Hashtbl Ints Ir List M3l Option Rt Support

@@ -1,0 +1,1 @@
+lib/mir/lower.mli: Ir M3l

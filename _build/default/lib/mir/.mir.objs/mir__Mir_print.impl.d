@@ -1,0 +1,1 @@
+lib/mir/mir_print.ml: Array Deriv Format Ir List Printf String

@@ -1,0 +1,134 @@
+(** CFG utilities shared by the optimizer: predecessors, reverse postorder,
+    dominators, natural-loop discovery, and block surgery (preheaders). *)
+
+open Support
+module Iset = Ints.Iset
+
+let predecessors (f : Ir.func) : int list array =
+  let nb = Array.length f.Ir.blocks in
+  let preds = Array.make nb [] in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      List.iter (fun s -> preds.(s) <- b :: preds.(s)) (Ir.term_succs blk.Ir.term))
+    f.Ir.blocks;
+  preds
+
+let reverse_postorder (f : Ir.func) : int array =
+  let nb = Array.length f.Ir.blocks in
+  let visited = Array.make nb false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Ir.term_succs f.Ir.blocks.(b).Ir.term);
+      order := b :: !order
+    end
+  in
+  dfs 0;
+  Array.of_list !order
+
+(** Immediate dominators (Cooper–Harvey–Kennedy); unreachable blocks map to
+    themselves and should be ignored by clients. *)
+let dominators (f : Ir.func) : int array =
+  let nb = Array.length f.Ir.blocks in
+  let rpo = reverse_postorder f in
+  let rpo_num = Array.make nb (-1) in
+  Array.iteri (fun i b -> rpo_num.(b) <- i) rpo;
+  let preds = predecessors f in
+  let idom = Array.make nb (-1) in
+  idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_num.(a) > rpo_num.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let ps = List.filter (fun p -> idom.(p) <> -1) preds.(b) in
+          match ps with
+          | [] -> ()
+          | p0 :: rest ->
+              let new_idom = List.fold_left intersect p0 rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  idom
+
+let dominates idom a b =
+  (* does a dominate b? *)
+  let rec up x = if x = a then true else if x = idom.(x) then false else up idom.(x) in
+  if idom.(b) = -1 then false else up b
+
+(** A natural loop: header plus body block set (including the header). *)
+type loop = { header : int; body : Iset.t }
+
+let natural_loops (f : Ir.func) : loop list =
+  let idom = dominators f in
+  let preds = predecessors f in
+  let loops = Hashtbl.create 8 in
+  (* back edge: b -> h where h dominates b *)
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      List.iter
+        (fun h ->
+          if idom.(b) <> -1 && dominates idom h b then begin
+            (* collect the natural loop of this back edge *)
+            let body = ref (Iset.add h (Iset.singleton b)) in
+            let stack = ref [ b ] in
+            while !stack <> [] do
+              let x = List.hd !stack in
+              stack := List.tl !stack;
+              if x <> h then
+                List.iter
+                  (fun p ->
+                    if not (Iset.mem p !body) then begin
+                      body := Iset.add p !body;
+                      stack := p :: !stack
+                    end)
+                  preds.(x)
+            done;
+            let existing =
+              match Hashtbl.find_opt loops h with Some s -> s | None -> Iset.empty
+            in
+            Hashtbl.replace loops h (Iset.union existing !body)
+          end)
+        (Ir.term_succs blk.Ir.term))
+    f.Ir.blocks;
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) loops []
+
+(* ------------------------------------------------------------------ *)
+(* Block surgery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Append a new block; returns its label. *)
+let add_block (f : Ir.func) ~(instrs : Ir.instr list) ~(term : Ir.term) : int =
+  let nb = Array.length f.Ir.blocks in
+  f.Ir.blocks <- Array.append f.Ir.blocks [| { Ir.instrs; term } |];
+  nb
+
+let retarget_term (t : Ir.term) ~from ~dest : Ir.term =
+  match t with
+  | Ir.Jmp l -> Ir.Jmp (if l = from then dest else l)
+  | Ir.Cjmp (r, a, b, tl, fl) ->
+      Ir.Cjmp (r, a, b, (if tl = from then dest else tl), if fl = from then dest else fl)
+  | Ir.Ret _ | Ir.Unreachable -> t
+
+(** Insert a preheader for a loop: a fresh empty block through which every
+    edge into the header from outside the loop is redirected. Returns its
+    label. The loop's [body] set remains valid (the preheader is outside). *)
+let insert_preheader (f : Ir.func) (l : loop) : int =
+  let ph = add_block f ~instrs:[] ~term:(Ir.Jmp l.header) in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      if b <> ph && not (Iset.mem b l.body) then
+        blk.Ir.term <- retarget_term blk.Ir.term ~from:l.header ~dest:ph)
+    f.Ir.blocks;
+  ph

@@ -1,0 +1,56 @@
+(** Compiler-side derivation metadata.
+
+    A {e derived value} (paper §2) is any value created by pointer
+    arithmetic; a {e base value} is any value participating in the
+    derivation. We track deriving expressions of the shape the paper
+    handles:
+
+    {v a  =  Σᵢ pᵢ  −  Σⱼ qⱼ  +  E v}
+
+    where the [pᵢ]/[qⱼ] are pointers or derived values held in temps or
+    locals and [E] involves neither. Only the bases are recorded; [E] never
+    needs to be known because + and − are invertible (paper §3). *)
+
+type base = Btemp of int | Blocal of int
+
+type t = { plus : base list; minus : base list }
+
+let empty = { plus = []; minus = [] }
+let is_empty d = d.plus = [] && d.minus = []
+let of_base b = { plus = [ b ]; minus = [] }
+
+(** Remove pairs that appear on both sides: [±M\[x\]] cancels exactly. *)
+let normalize d =
+  let rec cancel plus minus acc_plus =
+    match plus with
+    | [] -> (List.rev acc_plus, minus)
+    | p :: rest ->
+        if List.mem p minus then
+          (* remove one occurrence of p from minus *)
+          let rec remove_one = function
+            | [] -> []
+            | q :: qs -> if q = p then qs else q :: remove_one qs
+          in
+          cancel rest (remove_one minus) acc_plus
+        else cancel rest minus (p :: acc_plus)
+  in
+  let plus, minus = cancel d.plus d.minus [] in
+  { plus; minus }
+
+let add a b = normalize { plus = a.plus @ b.plus; minus = a.minus @ b.minus }
+let sub a b = normalize { plus = a.plus @ b.minus; minus = a.minus @ b.plus }
+let neg a = { plus = a.minus; minus = a.plus }
+
+let bases d = d.plus @ d.minus
+
+let equal a b =
+  let sort = List.sort compare in
+  sort a.plus = sort b.plus && sort a.minus = sort b.minus
+
+let pp_base fmt = function
+  | Btemp t -> Format.fprintf fmt "t%d" t
+  | Blocal l -> Format.fprintf fmt "l%d" l
+
+let pp fmt d =
+  List.iter (fun b -> Format.fprintf fmt "+%a" pp_base b) d.plus;
+  List.iter (fun b -> Format.fprintf fmt "-%a" pp_base b) d.minus

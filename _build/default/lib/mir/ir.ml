@@ -1,0 +1,235 @@
+(** The mid-level intermediate representation: a control-flow graph of basic
+    blocks over an unbounded supply of virtual registers ("temps") plus
+    explicitly addressed frame "locals".
+
+    Every temp carries a {!kind} describing what the value means to the
+    garbage collector; the optimizer must keep kinds correct as it moves and
+    rewrites code — this is exactly the bookkeeping the paper adds to gcc. *)
+
+type temp = int
+type local = int
+type label = int
+
+type operand = Otemp of temp | Oimm of int
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+(** What a value is, to the collector. *)
+type kind =
+  | Kscalar (* integers, booleans, chars *)
+  | Kptr (* tidy heap pointer (possibly NIL) *)
+  | Kstack (* address of a stack slot, global, or static text: never moves *)
+  | Kderived of Deriv.t (* pointer arithmetic over heap pointers *)
+
+(** Runtime (native) routines. Only the allocating ones induce gc-points. *)
+type rt_call =
+  | Rt_alloc (* (tdesc_id) -> ptr ; fixed-size object *)
+  | Rt_alloc_open (* (tdesc_id, length) -> ptr ; open array *)
+  | Rt_gc_check (* loop gc-point: may trigger a collection *)
+  | Rt_put_int
+  | Rt_put_char
+  | Rt_put_text
+  | Rt_put_ln
+  | Rt_halt
+  | Rt_bounds_error
+  | Rt_nil_error
+
+let rt_allocates = function
+  | Rt_alloc | Rt_alloc_open | Rt_gc_check -> true
+  | Rt_put_int | Rt_put_char | Rt_put_text | Rt_put_ln | Rt_halt | Rt_bounds_error
+  | Rt_nil_error -> false
+
+let rt_name = function
+  | Rt_alloc -> "rt_alloc"
+  | Rt_alloc_open -> "rt_alloc_open"
+  | Rt_gc_check -> "rt_gc_check"
+  | Rt_put_int -> "rt_put_int"
+  | Rt_put_char -> "rt_put_char"
+  | Rt_put_text -> "rt_put_text"
+  | Rt_put_ln -> "rt_put_ln"
+  | Rt_halt -> "rt_halt"
+  | Rt_bounds_error -> "rt_bounds_error"
+  | Rt_nil_error -> "rt_nil_error"
+
+type callee = Cuser of int (* function id *) | Crt of rt_call
+
+type instr =
+  | Mov of temp * operand
+  | Bin of binop * temp * operand * operand
+  | Neg of temp * operand
+  | Abs of temp * operand
+  | Setrel of relop * temp * operand * operand (* temp := a REL b, 0/1 *)
+  | Ld_local of temp * local * int (* temp := slot word at static offset *)
+  | St_local of local * int * operand
+  | Ld_global of temp * int * int
+  | St_global of int * int * operand
+  | Lda_local of temp * local * int (* temp := &slot + disp words (Kstack) *)
+  | Lda_global of temp * int * int
+  | Lda_text of temp * int (* address of static text literal *)
+  | Load of temp * operand * int (* temp := M[addr + disp] *)
+  | Store of operand * int * operand (* M[addr + disp] := value *)
+  | Call of temp option * callee * operand list
+
+type term =
+  | Jmp of label
+  | Cjmp of relop * operand * operand * label * label (* then/else targets *)
+  | Ret of operand option
+  | Unreachable (* after a no-return runtime call *)
+
+type block = { mutable instrs : instr list; mutable term : term }
+
+(** Scalar-slot classification of a local (what the slot holds). *)
+type slot_kind =
+  | Sscalar
+  | Sptr (* tidy pointer slot: appears in the stack-pointer tables *)
+  | Saddr (* VAR-param slot: holds an address described by the CALLER *)
+  | Sderived of Deriv.t (* WITH alias over a heap place, reduced pointer, … *)
+  | Sambig of ambig
+    (* ambiguously derived slot: the actual derivation is selected at run
+       time by the path variable (paper §4) *)
+  | Saggregate of int list (* embedded record/array; pointer offsets inside *)
+
+and ambig = { path_local : int; cases : (int * Deriv.t) list }
+
+type local_info = {
+  l_name : string;
+  l_size : int; (* words *)
+  mutable l_slot : slot_kind; (* alias slots are classified at the binding site *)
+  l_user : bool; (* user-declared (preferred as derivation base) *)
+  mutable l_addr_taken : bool; (* someone takes its address: must stay in frame *)
+  mutable l_stores : int; (* static count of stores (stability for bases) *)
+}
+
+type func = {
+  fid : int;
+  fname : string;
+  params : local list; (* in declaration order; always locals 0..n-1 *)
+  nparams : int;
+  ret : bool; (* returns a value *)
+  ret_ptr : bool; (* returned value is a pointer *)
+  mutable locals : local_info array;
+  mutable blocks : block array; (* index = label; entry = 0 *)
+  mutable temp_kinds : kind array; (* index = temp *)
+  mutable ntemps : int;
+}
+
+type global_info = {
+  g_name : string;
+  g_size : int;
+  g_ptrs : int list; (* pointer offsets within the global, for roots *)
+}
+
+type program = {
+  pname : string;
+  globals : global_info array;
+  texts : string array; (* static text literals *)
+  tdescs : Rt.Typedesc.t array;
+  funcs : func array; (* index = fid *)
+  main_fid : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let temp_kind f t =
+  if t < 0 || t >= f.ntemps then invalid_arg "Ir.temp_kind" else f.temp_kinds.(t)
+
+let set_temp_kind f t k =
+  if t < 0 || t >= f.ntemps then invalid_arg "Ir.set_temp_kind";
+  f.temp_kinds.(t) <- k
+
+let fresh_temp f k =
+  let t = f.ntemps in
+  if t >= Array.length f.temp_kinds then begin
+    let bigger = Array.make (max 8 (2 * Array.length f.temp_kinds)) Kscalar in
+    Array.blit f.temp_kinds 0 bigger 0 (Array.length f.temp_kinds);
+    f.temp_kinds <- bigger
+  end;
+  f.temp_kinds.(t) <- k;
+  f.ntemps <- t + 1;
+  t
+
+(** Temps read by an instruction. *)
+let instr_uses = function
+  | Mov (_, s) | Neg (_, s) | Abs (_, s) -> [ s ]
+  | Bin (_, _, a, b) | Setrel (_, _, a, b) -> [ a; b ]
+  | Ld_local _ | Ld_global _ | Lda_local _ | Lda_global _ | Lda_text _ -> []
+  | St_local (_, _, s) | St_global (_, _, s) -> [ s ]
+  | Load (_, a, _) -> [ a ]
+  | Store (a, _, v) -> [ a; v ]
+  | Call (_, _, args) -> args
+
+let instr_def = function
+  | Mov (d, _) | Bin (_, d, _, _) | Neg (d, _) | Abs (d, _) | Setrel (_, d, _, _)
+  | Ld_local (d, _, _) | Ld_global (d, _, _) | Lda_local (d, _, _)
+  | Lda_global (d, _, _) | Lda_text (d, _) | Load (d, _, _) -> Some d
+  | Store _ | St_local _ | St_global _ -> None
+  | Call (d, _, _) -> d
+
+let term_uses = function
+  | Jmp _ | Unreachable -> []
+  | Cjmp (_, a, b, _, _) -> [ a; b ]
+  | Ret (Some o) -> [ o ]
+  | Ret None -> []
+
+let term_succs = function
+  | Jmp l -> [ l ]
+  | Cjmp (_, _, _, t, e) -> [ t; e ]
+  | Ret _ | Unreachable -> []
+
+let operand_temps ops =
+  List.filter_map (function Otemp t -> Some t | Oimm _ -> None) ops
+
+(** Locals read (as slots) by an instruction; [Lda_local] counts as an
+    address-taken reference, returned separately. *)
+let instr_local_reads = function
+  | Ld_local (_, l, _) -> [ l ]
+  | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_global _ | St_local _ | St_global _
+  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Call _ -> []
+
+let instr_local_writes = function
+  | St_local (l, _, _) -> [ l ]
+  | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_local _ | Ld_global _ | St_global _
+  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Call _ -> []
+
+let is_call = function Call _ -> true
+  | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_local _ | Ld_global _ | St_local _
+  | St_global _ | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ -> false
+
+(** Does this call instruction constitute a gc-point?  All calls to user
+    procedures do (unless the optional never-allocates analysis proves
+    otherwise — see {!Opt.Noalloc}); runtime calls only if they may allocate
+    or trigger a collection (paper §5.3). *)
+let call_is_gcpoint ?(noalloc_funcs = fun (_ : int) -> false) callee =
+  match callee with
+  | Cuser fid -> not (noalloc_funcs fid)
+  | Crt rc -> rt_allocates rc
+
+let local_is_stable f l =
+  let info = f.locals.(l) in
+  info.l_stores <= (if l < f.nparams then 0 else 1)
+
+(** Rewrite the operands an instruction reads (definitions untouched). *)
+let map_instr_uses (g : operand -> operand) (i : instr) : instr =
+  match i with
+  | Mov (d, s) -> Mov (d, g s)
+  | Bin (op, d, a, b) -> Bin (op, d, g a, g b)
+  | Neg (d, s) -> Neg (d, g s)
+  | Abs (d, s) -> Abs (d, g s)
+  | Setrel (r, d, a, b) -> Setrel (r, d, g a, g b)
+  | Ld_local _ | Ld_global _ | Lda_local _ | Lda_global _ | Lda_text _ -> i
+  | St_local (l, o, s) -> St_local (l, o, g s)
+  | St_global (gl, o, s) -> St_global (gl, o, g s)
+  | Load (d, a, o) -> Load (d, g a, o)
+  | Store (a, o, v) -> Store (g a, o, g v)
+  | Call (d, c, args) -> Call (d, c, List.map g args)
+
+let map_term_uses (g : operand -> operand) (t : term) : term =
+  match t with
+  | Jmp _ | Unreachable -> t
+  | Cjmp (r, a, b, tl, fl) -> Cjmp (r, g a, g b, tl, fl)
+  | Ret (Some o) -> Ret (Some (g o))
+  | Ret None -> t

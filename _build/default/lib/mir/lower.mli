@@ -1,0 +1,15 @@
+(** Lowering from the typed AST to MIR.
+
+    This is the point where addresses come into existence: heap accesses
+    become explicit pointer arithmetic, and every address temp is given a
+    {!Ir.kind} recording its derivation — the metadata the paper's tables
+    are ultimately built from. VAR-parameter passing and WITH aliases over
+    heap places produce interior (untidy) pointers here, exactly as in
+    Modula-3 (paper §2).
+
+    When [checks] is set (the default, matching Modula-3 semantics), NIL
+    dereferences and out-of-range indexing branch to runtime error routines;
+    those routines are statically known not to allocate, so the branches are
+    not gc-points (paper §5.3). *)
+
+val program : ?checks:bool -> M3l.Tast.tprogram -> Ir.program

@@ -1,0 +1,1 @@
+lib/opt/cleanup.ml: Array List Mir

@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Array List Mir

@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Array Hashtbl List Mir Support

@@ -1,0 +1,1 @@
+lib/opt/loop_gcpoints.ml: Array List Mir Support

@@ -1,0 +1,1 @@
+lib/opt/noalloc.ml: Array List Mir

@@ -1,0 +1,1 @@
+lib/opt/pathvar.ml: Array Hashtbl List Mir Support

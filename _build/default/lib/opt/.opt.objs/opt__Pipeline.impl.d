@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Array Cleanup Constfold Copyprop Cse Dce Licm Mir Pathvar Strength Virtual_origin

@@ -1,0 +1,1 @@
+lib/opt/strength.ml: Array Hashtbl List Mir Option Printf Support

@@ -1,0 +1,1 @@
+lib/opt/virtual_origin.ml: Array List Mir

@@ -1,0 +1,40 @@
+(** CFG cleanup: remove unreachable blocks (left behind by branch folding
+    and path-variable merging) and renumber the remainder. *)
+
+module Ir = Mir.Ir
+
+let run (_prog : Ir.program) (f : Ir.func) : bool =
+  let nb = Array.length f.Ir.blocks in
+  let reachable = Array.make nb false in
+  let rec dfs b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter dfs (Ir.term_succs f.Ir.blocks.(b).Ir.term)
+    end
+  in
+  dfs 0;
+  if Array.for_all (fun x -> x) reachable then false
+  else begin
+    let remap = Array.make nb (-1) in
+    let next = ref 0 in
+    for b = 0 to nb - 1 do
+      if reachable.(b) then begin
+        remap.(b) <- !next;
+        incr next
+      end
+    done;
+    let blocks =
+      Array.of_list
+        (List.filteri (fun b _ -> reachable.(b)) (Array.to_list f.Ir.blocks))
+    in
+    Array.iter
+      (fun (blk : Ir.block) ->
+        blk.Ir.term <-
+          (match blk.Ir.term with
+          | Ir.Jmp l -> Ir.Jmp remap.(l)
+          | Ir.Cjmp (r, a, b, tl, fl) -> Ir.Cjmp (r, a, b, remap.(tl), remap.(fl))
+          | (Ir.Ret _ | Ir.Unreachable) as t -> t))
+      blocks;
+    f.Ir.blocks <- blocks;
+    true
+  end

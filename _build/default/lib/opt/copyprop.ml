@@ -1,0 +1,45 @@
+(** Local (per-block) copy and constant propagation: uses of a temp defined
+    by [t := s] are replaced by [s] while the copy is transparent. *)
+
+module Ir = Mir.Ir
+
+let run (_prog : Ir.program) (f : Ir.func) : bool =
+  let changed = ref false in
+  Array.iter
+    (fun (blk : Ir.block) ->
+      let env : (int, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate_temp t =
+        Hashtbl.remove env t;
+        (* Drop any mapping whose value mentions t. *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> if v = Ir.Otemp t then k :: acc else acc)
+            env []
+        in
+        List.iter (Hashtbl.remove env) stale
+      in
+      let subst (o : Ir.operand) =
+        match o with
+        | Ir.Oimm _ -> o
+        | Ir.Otemp t -> (
+            match Hashtbl.find_opt env t with
+            | Some o' ->
+                changed := true;
+                o'
+            | None -> o)
+      in
+      let instrs =
+        List.map
+          (fun i ->
+            let i' = Ir.map_instr_uses subst i in
+            (match Ir.instr_def i' with Some d -> invalidate_temp d | None -> ());
+            (match i' with
+            | Ir.Mov (d, src) when src <> Ir.Otemp d -> Hashtbl.replace env d src
+            | _ -> ());
+            i')
+          blk.Ir.instrs
+      in
+      blk.Ir.instrs <- instrs;
+      blk.Ir.term <- Ir.map_term_uses subst blk.Ir.term)
+    f.Ir.blocks;
+  !changed

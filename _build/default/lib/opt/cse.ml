@@ -1,0 +1,96 @@
+(** Local common-subexpression elimination.
+
+    Address computations are prime candidates (the paper's §2 CSE example:
+    [&A\[i\]] reused across two element accesses); reusing them extends the
+    lifetime of derived values across gc-points, which is exactly what the
+    derivation tables must then describe.
+
+    Memory-reading expressions are invalidated conservatively: heap loads by
+    any store or call; local slots by stores to the same slot, and by calls
+    when the slot's address has been taken (a callee could write through a
+    VAR parameter); globals by global stores and calls. *)
+
+module Ir = Mir.Ir
+
+type key =
+  | Kbin of Ir.binop * Ir.operand * Ir.operand
+  | Ksetrel of Ir.relop * Ir.operand * Ir.operand
+  | Kneg of Ir.operand
+  | Kabs of Ir.operand
+  | Klda_local of int * int
+  | Klda_global of int * int
+  | Klda_text of int
+  | Kld_local of int * int
+  | Kld_global of int * int
+  | Kload of Ir.operand * int
+
+let key_of (i : Ir.instr) : key option =
+  match i with
+  | Ir.Bin (op, _, a, b) when op <> Ir.Div && op <> Ir.Mod -> Some (Kbin (op, a, b))
+  | Ir.Setrel (r, _, a, b) -> Some (Ksetrel (r, a, b))
+  | Ir.Neg (_, s) -> Some (Kneg s)
+  | Ir.Abs (_, s) -> Some (Kabs s)
+  | Ir.Lda_local (_, l, o) -> Some (Klda_local (l, o))
+  | Ir.Lda_global (_, g, o) -> Some (Klda_global (g, o))
+  | Ir.Lda_text (_, x) -> Some (Klda_text x)
+  | Ir.Ld_local (_, l, o) -> Some (Kld_local (l, o))
+  | Ir.Ld_global (_, g, o) -> Some (Kld_global (g, o))
+  | Ir.Load (_, a, o) -> Some (Kload (a, o))
+  | _ -> None
+
+let key_mentions_temp t = function
+  | Kbin (_, a, b) | Ksetrel (_, a, b) -> a = Ir.Otemp t || b = Ir.Otemp t
+  | Kneg s | Kabs s | Kload (s, _) -> s = Ir.Otemp t
+  | Klda_local _ | Klda_global _ | Klda_text _ | Kld_local _ | Kld_global _ -> false
+
+let run (_prog : Ir.program) (f : Ir.func) : bool =
+  let changed = ref false in
+  Array.iter
+    (fun (blk : Ir.block) ->
+      let avail : (key * int) list ref = ref [] in
+      let kill p = avail := List.filter (fun (k, v) -> not (p k v)) !avail in
+      let on_def t =
+        kill (fun k v -> v = t || key_mentions_temp t k)
+      in
+      let instrs =
+        List.map
+          (fun i ->
+            let i' =
+              match key_of i with
+              | Some k -> (
+                  match (List.assoc_opt k !avail, Ir.instr_def i) with
+                  | Some s, Some d when s <> d ->
+                      changed := true;
+                      Ir.Mov (d, Ir.Otemp s)
+                  | _ -> i)
+              | None -> i
+            in
+            (* Kill invalidated entries, then record the new value. *)
+            (match i' with
+            | Ir.St_local (l, _, _) ->
+                kill (fun k _ ->
+                    match k with Kld_local (l', _) -> l' = l | _ -> false)
+            | Ir.St_global (g, _, _) ->
+                kill (fun k _ ->
+                    match k with Kld_global (g', _) -> g' = g | _ -> false)
+            | Ir.Store _ -> kill (fun k _ -> match k with Kload _ -> true | _ -> false)
+            | Ir.Call _ ->
+                kill (fun k _ ->
+                    match k with
+                    | Kload _ | Kld_global _ -> true
+                    | Kld_local (l, _) -> f.Ir.locals.(l).Ir.l_addr_taken
+                    | _ -> false)
+            | _ -> ());
+            (match Ir.instr_def i' with Some d -> on_def d | None -> ());
+            (match (key_of i', Ir.instr_def i') with
+            | Some k, Some d -> (
+                match i' with
+                | Ir.Mov _ -> ()
+                | _ -> avail := (k, d) :: !avail)
+            | _ -> ());
+            i')
+          blk.Ir.instrs
+      in
+      blk.Ir.instrs <- instrs)
+    f.Ir.blocks;
+  !changed

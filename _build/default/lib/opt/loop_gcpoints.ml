@@ -1,0 +1,64 @@
+(** GC-points in loops (paper §5.3).
+
+    In a pre-emptively scheduled multi-threaded system, a suspended thread
+    must reach a gc-point in bounded time, so every loop needs a
+    {e guaranteed} gc-point: one reached on every iteration regardless of
+    the path taken. A loop already has one if every path from the header
+    back to the header passes an allocating call (including through nested
+    loops, whose own guaranteed gc-points count). Loops without one get an
+    [rt_gc_check] call inserted at the loop header. *)
+
+module Ir = Mir.Ir
+module Iset = Support.Ints.Iset
+
+let block_has_gcpoint (blk : Ir.block) =
+  List.exists
+    (fun i ->
+      match i with
+      | Ir.Call (_, callee, _) -> Ir.call_is_gcpoint callee
+      | _ -> false)
+    blk.Ir.instrs
+
+(* Is there a cycle through [header] that avoids gc-point blocks entirely?
+   DFS within the loop body through "clean" blocks. *)
+let needs_gcpoint (f : Ir.func) (l : Mir.Cfg.loop) =
+  if block_has_gcpoint f.Ir.blocks.(l.Mir.Cfg.header) then false
+  else begin
+    let visited = ref Iset.empty in
+    let found = ref false in
+    let rec dfs b ~first =
+      if (not !found) && ((not (Iset.mem b !visited)) || (b = l.Mir.Cfg.header && not first))
+      then begin
+        if b = l.Mir.Cfg.header && not first then found := true
+        else begin
+          visited := Iset.add b !visited;
+          if not (block_has_gcpoint f.Ir.blocks.(b)) then
+            List.iter
+              (fun s -> if Iset.mem s l.Mir.Cfg.body then dfs s ~first:false)
+              (Ir.term_succs f.Ir.blocks.(b).Ir.term)
+        end
+      end
+    in
+    dfs l.Mir.Cfg.header ~first:true;
+    !found
+  end
+
+let run_func (f : Ir.func) : int =
+  let loops = Mir.Cfg.natural_loops f in
+  (* Inner loops first so their inserted gc-points count for outer loops. *)
+  let loops =
+    List.sort (fun a b -> compare (Iset.cardinal a.Mir.Cfg.body) (Iset.cardinal b.Mir.Cfg.body)) loops
+  in
+  let inserted = ref 0 in
+  List.iter
+    (fun l ->
+      if needs_gcpoint f l then begin
+        let header = f.Ir.blocks.(l.Mir.Cfg.header) in
+        header.Ir.instrs <- Ir.Call (None, Ir.Crt Ir.Rt_gc_check, []) :: header.Ir.instrs;
+        incr inserted
+      end)
+    loops;
+  !inserted
+
+let run (prog : Ir.program) : int =
+  Array.fold_left (fun acc f -> acc + run_func f) 0 prog.Ir.funcs

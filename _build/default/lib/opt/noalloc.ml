@@ -1,0 +1,51 @@
+(** Interprocedural never-allocates analysis (the refinement the paper's
+    §5.3 leaves open: "If the compiler performs inter-procedural analysis
+    then it can determine that some procedures never allocate any heap
+    storage and thus calls to them need not be gc-points").
+
+    A procedure allocates if it contains an allocating runtime call or a
+    call to an allocating procedure; the fixpoint starts from "nothing
+    allocates" and grows. *)
+
+module Ir = Mir.Ir
+
+let analyze (prog : Ir.program) : int -> bool =
+  let n = Array.length prog.Ir.funcs in
+  let allocates = Array.make n false in
+  let direct fid =
+    Array.exists
+      (fun (blk : Ir.block) ->
+        List.exists
+          (fun i ->
+            match i with
+            | Ir.Call (_, Ir.Crt rc, _) -> Ir.rt_allocates rc
+            | _ -> false)
+          blk.Ir.instrs)
+      prog.Ir.funcs.(fid).Ir.blocks
+  in
+  for fid = 0 to n - 1 do
+    allocates.(fid) <- direct fid
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for fid = 0 to n - 1 do
+      if not allocates.(fid) then
+        let calls_allocating =
+          Array.exists
+            (fun (blk : Ir.block) ->
+              List.exists
+                (fun i ->
+                  match i with
+                  | Ir.Call (_, Ir.Cuser g, _) -> allocates.(g)
+                  | _ -> false)
+                blk.Ir.instrs)
+            prog.Ir.funcs.(fid).Ir.blocks
+        in
+        if calls_allocating then begin
+          allocates.(fid) <- true;
+          changed := true
+        end
+    done
+  done;
+  fun fid -> fid >= 0 && fid < n && not allocates.(fid)

@@ -1,0 +1,52 @@
+(** The optimization pipeline. Passes transform MIR in place and must keep
+    the gc kinds (derivations) of temps correct — the bookkeeping burden the
+    paper adds to gcc's optimizer (§2, §4).
+
+    Pass order, per function, iterated to a local fixed point:
+    copy propagation → constant folding → CSE → virtual array origin →
+    strength reduction → LICM (with path variables for hoisted ambiguous
+    derivations) → dead code elimination. *)
+
+type options = {
+  copyprop : bool;
+  constfold : bool;
+  pathvar : bool;
+  cse : bool;
+  virtual_origin : bool;
+  strength : bool;
+  licm : bool;
+  dce : bool;
+}
+
+let all_on =
+  {
+    copyprop = true;
+    constfold = true;
+    pathvar = true;
+    cse = true;
+    virtual_origin = true;
+    strength = true;
+    licm = true;
+    dce = true;
+  }
+
+let optimize ?(opts = all_on) (prog : Mir.Ir.program) : unit =
+  Array.iter
+    (fun f ->
+      let budget = ref 6 in
+      let changed = ref true in
+      while !changed && !budget > 0 do
+        changed := false;
+        let step cond pass = if cond && pass prog f then changed := true in
+        step opts.copyprop Copyprop.run;
+        step opts.constfold Constfold.run;
+        step opts.pathvar Pathvar.run;
+        step opts.cse Cse.run;
+        step opts.virtual_origin Virtual_origin.run;
+        step opts.strength Strength.run;
+        step opts.licm Licm.run;
+        step opts.dce Dce.run;
+        decr budget
+      done;
+      ignore (Cleanup.run prog f))
+    prog.Mir.Ir.funcs

@@ -1,0 +1,1 @@
+lib/programs/ambig_src.ml:

@@ -1,0 +1,1 @@
+lib/programs/destroy_src.ml: Printf

@@ -1,0 +1,1 @@
+lib/programs/fieldlist_src.ml:

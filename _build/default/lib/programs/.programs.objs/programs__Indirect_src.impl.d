@@ -1,0 +1,1 @@
+lib/programs/indirect_src.ml:

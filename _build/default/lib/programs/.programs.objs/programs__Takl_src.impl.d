@@ -1,0 +1,1 @@
+lib/programs/takl_src.ml:

@@ -1,0 +1,1 @@
+lib/programs/typereg_src.ml:

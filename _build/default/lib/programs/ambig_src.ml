@@ -1,0 +1,81 @@
+(** ambig — a synthetic program whose optimized form contains an
+    {e ambiguous derivation} (paper §4): inside the loop, an array element
+    address derives from either [p] or [q] depending on a loop-invariant
+    condition. The optimizer hoists the base selection out of the loop
+    (computing the selected array's untidy element origin once), so the
+    origin's derivation depends on the path taken — disambiguated at
+    collection time by a {e path variable}. None of the paper's four
+    benchmarks had one ("the compiler introduced no path variables"), so
+    this program exists to exercise that machinery end to end.
+
+    Compile with checks off for the hoist to fire (bounds-check branches
+    split the diamond arms); correctness is verified in both modes. *)
+
+let src =
+  {|
+MODULE Ambig;
+
+TYPE
+  Arr = REF ARRAY [3..18] OF INTEGER;
+  Cell = RECORD v: INTEGER; n: L END;
+  L = REF Cell;
+
+VAR
+  p, q: Arr;
+  round, s: INTEGER;
+
+PROCEDURE Fill(a: Arr; mult: INTEGER);
+VAR k: INTEGER;
+BEGIN
+  FOR k := 3 TO 18 DO
+    a[k] := k * mult
+  END
+END Fill;
+
+PROCEDURE Churn(n: INTEGER): INTEGER;
+VAR l: L; k: INTEGER;
+BEGIN
+  l := NIL;
+  FOR k := 1 TO n DO
+    l := NEW(L);
+    l.v := k
+  END;
+  RETURN l.v
+END Churn;
+
+PROCEDURE Pass(pa, qa: Arr; inv: BOOLEAN): INTEGER;
+VAR i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 3 TO 18 DO
+    (* gc pressure inside the loop: the hoisted, ambiguously derived
+       origin is live across a gc-point *)
+    s := s + Churn(3);
+    IF inv THEN
+      s := s + pa[i]
+    ELSE
+      s := s + qa[i]
+    END
+  END;
+  RETURN s
+END Pass;
+
+BEGIN
+  p := NEW(Arr);
+  q := NEW(Arr);
+  Fill(p, 2);
+  Fill(q, 5);
+  s := 0;
+  FOR round := 1 TO 10 DO
+    s := s + Pass(p, q, round MOD 2 = 0)
+  END;
+  PutText("ambig: s=");
+  PutInt(s);
+  PutLn()
+END Ambig.
+|}
+
+(* Per round: Churn contributes 3*16 = 48; even rounds add sum(k*2, k=3..18)
+   = 2*168 = 336; odd rounds add 5*168 = 840. Five rounds each:
+   s = 10*48 + 5*336 + 5*840 = 480 + 1680 + 4200 = 6360. *)
+let expected = "ambig: s=6360\n"

@@ -1,0 +1,92 @@
+(** destroy — the paper's gc-stress benchmark (§6.1, §6.3): build a complete
+    tree of a given branching factor and depth, then repeatedly build a new
+    subtree at a fixed intermediate depth and replace a randomly chosen
+    subtree of the same height with it. Heavily recursive; triggers
+    collection frequently. The PRNG is a deterministic LCG written in the
+    benchmark itself so runs are reproducible. *)
+
+let make ~branch ~depth ~replace_depth ~iterations =
+  Printf.sprintf
+    {|
+MODULE Destroy;
+
+TYPE
+  TreeRec = RECORD
+    value: INTEGER;
+    kids: Kids
+  END;
+  Tree = REF TreeRec;
+  Kids = REF ARRAY OF Tree;
+
+VAR
+  root: Tree;
+  seed, it, checksum: INTEGER;
+
+PROCEDURE Rand(bound: INTEGER): INTEGER;
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 1073741824;
+  RETURN seed MOD bound
+END Rand;
+
+PROCEDURE MkTree(depth: INTEGER): Tree;
+VAR t: Tree; i: INTEGER;
+BEGIN
+  t := NEW(Tree);
+  t.value := depth;
+  IF depth > 0 THEN
+    t.kids := NEW(Kids, %d);
+    FOR i := 0 TO %d DO
+      t.kids[i] := MkTree(depth - 1)
+    END
+  END;
+  RETURN t
+END MkTree;
+
+PROCEDURE Count(t: Tree): INTEGER;
+VAR n, i: INTEGER;
+BEGIN
+  IF t = NIL THEN RETURN 0 END;
+  n := 1;
+  IF t.kids # NIL THEN
+    FOR i := 0 TO NUMBER(t.kids) - 1 DO
+      n := n + Count(t.kids[i])
+    END
+  END;
+  RETURN n
+END Count;
+
+PROCEDURE Replace(): INTEGER;
+VAR t: Tree; d: INTEGER; fresh: Tree;
+BEGIN
+  (* walk down to the replacement depth *)
+  t := root;
+  d := 0;
+  WHILE d < %d - 1 DO
+    t := t.kids[Rand(%d)];
+    d := d + 1
+  END;
+  (* build the new subtree first, then splice it in *)
+  fresh := MkTree(%d - %d);
+  t.kids[Rand(%d)] := fresh;
+  RETURN fresh.value
+END Replace;
+
+BEGIN
+  seed := 12345;
+  root := MkTree(%d);
+  checksum := 0;
+  FOR it := 1 TO %d DO
+    checksum := checksum + Replace()
+  END;
+  PutText("destroy: nodes=");
+  PutInt(Count(root));
+  PutText(" checksum=");
+  PutInt(checksum);
+  PutLn()
+END Destroy.
+|}
+    branch (branch - 1) replace_depth branch depth replace_depth branch depth
+    iterations
+
+(** The configuration used by the test suite and the §6.3 timing bench. *)
+let src = make ~branch:3 ~depth:6 ~replace_depth:3 ~iterations:60

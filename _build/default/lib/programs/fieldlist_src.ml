@@ -1,0 +1,137 @@
+(** fieldlist — modelled on the paper's description: "implements command
+    parsing for a UNIX shell". Splits command lines into whitespace-
+    separated fields, builds a linked field list per command, and
+    interprets a couple of tiny built-ins. Lots of short string-handling
+    procedures called frequently, like the original. *)
+
+let src =
+  {|
+MODULE Fieldlist;
+
+TYPE
+  FieldRec = RECORD
+    text: TEXT;
+    next: FieldList
+  END;
+  FieldList = REF FieldRec;
+
+VAR
+  commands: REF ARRAY OF TEXT;
+  i, totalFields, echoed: INTEGER;
+
+PROCEDURE IsSpace(c: CHAR): BOOLEAN;
+BEGIN
+  RETURN c = ' ' OR c = '\t'
+END IsSpace;
+
+PROCEDURE SubText(t: TEXT; start, len: INTEGER): TEXT;
+VAR r: TEXT; k: INTEGER;
+BEGIN
+  r := NEW(TEXT, len);
+  FOR k := 0 TO len - 1 DO
+    r[k] := t[start + k]
+  END;
+  RETURN r
+END SubText;
+
+PROCEDURE TextEqual(a, b: TEXT): BOOLEAN;
+VAR k: INTEGER;
+BEGIN
+  IF NUMBER(a) # NUMBER(b) THEN RETURN FALSE END;
+  FOR k := 0 TO NUMBER(a) - 1 DO
+    IF a[k] # b[k] THEN RETURN FALSE END
+  END;
+  RETURN TRUE
+END TextEqual;
+
+PROCEDURE Append(list: FieldList; f: FieldList): FieldList;
+VAR p: FieldList;
+BEGIN
+  IF list = NIL THEN RETURN f END;
+  p := list;
+  WHILE p.next # NIL DO p := p.next END;
+  p.next := f;
+  RETURN list
+END Append;
+
+PROCEDURE MkField(t: TEXT): FieldList;
+VAR f: FieldList;
+BEGIN
+  f := NEW(FieldList);
+  f.text := t;
+  RETURN f
+END MkField;
+
+PROCEDURE Split(line: TEXT): FieldList;
+VAR
+  fields: FieldList;
+  pos, start, n: INTEGER;
+BEGIN
+  fields := NIL;
+  pos := 0;
+  n := NUMBER(line);
+  WHILE pos < n DO
+    WHILE pos < n AND IsSpace(line[pos]) DO pos := pos + 1 END;
+    start := pos;
+    WHILE pos < n AND NOT IsSpace(line[pos]) DO pos := pos + 1 END;
+    IF pos > start THEN
+      fields := Append(fields, MkField(SubText(line, start, pos - start)))
+    END
+  END;
+  RETURN fields
+END Split;
+
+PROCEDURE CountFields(f: FieldList): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  n := 0;
+  WHILE f # NIL DO n := n + 1; f := f.next END;
+  RETURN n
+END CountFields;
+
+PROCEDURE Execute(f: FieldList): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  IF f = NIL THEN RETURN 0 END;
+  IF TextEqual(f.text, "echo") THEN
+    n := 0;
+    f := f.next;
+    WHILE f # NIL DO
+      IF n > 0 THEN PutChar(' ') END;
+      PutText(f.text);
+      n := n + 1;
+      f := f.next
+    END;
+    PutLn();
+    RETURN n
+  ELSIF TextEqual(f.text, "count") THEN
+    PutInt(CountFields(f.next));
+    PutLn();
+    RETURN CountFields(f.next)
+  END;
+  RETURN 0
+END Execute;
+
+BEGIN
+  commands := NEW(REF ARRAY OF TEXT, 6);
+  commands[0] := "echo hello world";
+  commands[1] := "   count a b c   d ";
+  commands[2] := "ls -l /usr/local/bin";
+  commands[3] := "echo   gc tables   are small";
+  commands[4] := "count";
+  commands[5] := "echo done";
+  totalFields := 0;
+  echoed := 0;
+  FOR i := 0 TO NUMBER(commands) - 1 DO
+    WITH line = commands[i] DO
+      totalFields := totalFields + CountFields(Split(line));
+      echoed := echoed + Execute(Split(line))
+    END
+  END;
+  PutText("fieldlist: fields=");
+  PutInt(totalFields);
+  PutText(" echoed=");
+  PutInt(echoed);
+  PutLn()
+END Fieldlist.
+|}

@@ -1,0 +1,60 @@
+(** indirect — micro-benchmark for the paper's §4 "Indirect References"
+    scenario and the §6.2 code-effect measurement: elements of a
+    two-dimensional REF structure are passed by VAR, so the address pushed
+    is derived from a value fetched from memory (an intermediate
+    reference). With gc restrictions the compiler keeps that intermediate
+    pointer in a register (the derivation base must have a compile-time-
+    known location); without them it may fold the fetch into a deferred
+    addressing mode — the paper counted 12 such splits in typereg and 32 in
+    FieldList on the VAX. *)
+
+let src =
+  {|
+MODULE Indirect;
+
+TYPE
+  Row = REF ARRAY OF INTEGER;
+  Mat = REF ARRAY OF Row;
+
+VAR m: Mat; i: INTEGER; total: INTEGER;
+
+PROCEDURE Bump(VAR cell: INTEGER);
+BEGIN
+  cell := cell + 1
+END Bump;
+
+PROCEDURE Sum(): INTEGER;
+VAR r, c, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR r := 0 TO 3 DO
+    FOR c := 0 TO 3 DO
+      s := s + m[r][c]
+    END
+  END;
+  RETURN s
+END Sum;
+
+BEGIN
+  m := NEW(Mat, 4);
+  FOR i := 0 TO 3 DO
+    m[i] := NEW(Row, 4)
+  END;
+  (* statically indexed VAR passes: the pushed address derives from the
+     intermediate row pointer fetched from m *)
+  FOR i := 1 TO 5 DO
+    Bump(m[0][0]);
+    Bump(m[0][3]);
+    Bump(m[1][2]);
+    Bump(m[2][1]);
+    Bump(m[3][3]);
+    Bump(m[3][0])
+  END;
+  total := Sum();
+  PutText("indirect: total=");
+  PutInt(total);
+  PutLn()
+END Indirect.
+|}
+
+let expected = "indirect: total=30\n"

@@ -1,0 +1,60 @@
+(** takl — the Gabriel benchmark the paper uses ("a well known benchmark"):
+    Takeuchi's function computed on lists, allocation-heavy and deeply
+    recursive. Parameters below are the classic (18, 12, 6). *)
+
+let src =
+  {|
+MODULE Takl;
+
+TYPE
+  Cell = RECORD head: INTEGER; tail: List END;
+  List = REF Cell;
+
+VAR result: List;
+
+PROCEDURE Listn(n: INTEGER): List;
+VAR c: List;
+BEGIN
+  IF n = 0 THEN RETURN NIL END;
+  c := NEW(List);
+  c.head := n;
+  c.tail := Listn(n - 1);
+  RETURN c
+END Listn;
+
+PROCEDURE Shorterp(x, y: List): BOOLEAN;
+BEGIN
+  WHILE y # NIL DO
+    IF x = NIL THEN RETURN TRUE END;
+    x := x.tail;
+    y := y.tail
+  END;
+  RETURN FALSE
+END Shorterp;
+
+PROCEDURE Mas(x, y, z: List): List;
+BEGIN
+  IF NOT Shorterp(y, x) THEN RETURN z END;
+  RETURN Mas(Mas(x.tail, y, z), Mas(y.tail, z, x), Mas(z.tail, x, y))
+END Mas;
+
+PROCEDURE Length(l: List): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  n := 0;
+  WHILE l # NIL DO n := n + 1; l := l.tail END;
+  RETURN n
+END Length;
+
+BEGIN
+  result := Mas(Listn(18), Listn(12), Listn(6));
+  PutText("takl: length=");
+  PutInt(Length(result));
+  PutText(" head=");
+  PutInt(result.head);
+  PutLn()
+END Takl.
+|}
+
+(* tak(18,12,6) = 7, so the resulting list is [7,6,...,1]. *)
+let expected = "takl: length=7 head=7\n"

@@ -1,0 +1,208 @@
+(** typereg — modelled on the paper's description: "implements type
+    registration and type comparisons using structural equivalence for our
+    Modula-3 runtime system"; "a number of short routines with frequent
+    calls" (the worst case for per-call gc-points).
+
+    The benchmark builds descriptors for synthetic types (integers, pointers,
+    arrays, records with field lists), registers them in a hash table keyed
+    by a structural hash, and looks types up by structural equivalence. *)
+
+let src =
+  {|
+MODULE Typereg;
+
+TYPE
+  (* kind codes: 0 = INT, 1 = BOOL, 2 = PTR(elt), 3 = ARRAY(elt, size),
+     4 = RECORD(fields) *)
+  TypeRec = RECORD
+    kind: INTEGER;
+    size: INTEGER;
+    elt: Type;
+    fields: Field
+  END;
+  Type = REF TypeRec;
+
+  FieldRec = RECORD
+    ftype: Type;
+    next: Field
+  END;
+  Field = REF FieldRec;
+
+  BucketRec = RECORD
+    t: Type;
+    next: Bucket
+  END;
+  Bucket = REF BucketRec;
+
+  Table = REF ARRAY OF Bucket;
+
+VAR
+  registry: Table;
+  nregistered, nhits, probes, i, j: INTEGER;
+  t, u: Type;
+
+PROCEDURE MkPrim(kind: INTEGER): Type;
+VAR t: Type;
+BEGIN
+  t := NEW(Type);
+  t.kind := kind;
+  t.size := 1;
+  RETURN t
+END MkPrim;
+
+PROCEDURE MkPtr(elt: Type): Type;
+VAR t: Type;
+BEGIN
+  t := NEW(Type);
+  t.kind := 2;
+  t.size := 1;
+  t.elt := elt;
+  RETURN t
+END MkPtr;
+
+PROCEDURE MkArray(elt: Type; size: INTEGER): Type;
+VAR t: Type;
+BEGIN
+  t := NEW(Type);
+  t.kind := 3;
+  t.size := size;
+  t.elt := elt;
+  RETURN t
+END MkArray;
+
+PROCEDURE AddField(t: Type; ftype: Type);
+VAR f: Field;
+BEGIN
+  f := NEW(Field);
+  f.ftype := ftype;
+  f.next := t.fields;
+  t.fields := f;
+  t.size := t.size + ftype.size
+END AddField;
+
+PROCEDURE MkRecord(): Type;
+VAR t: Type;
+BEGIN
+  t := NEW(Type);
+  t.kind := 4;
+  t.size := 0;
+  RETURN t
+END MkRecord;
+
+PROCEDURE Hash(t: Type): INTEGER;
+VAR h: INTEGER; f: Field;
+BEGIN
+  h := t.kind * 31 + t.size;
+  IF t.elt # NIL THEN
+    h := h * 31 + Hash(t.elt)
+  END;
+  f := t.fields;
+  WHILE f # NIL DO
+    h := h * 7 + Hash(f.ftype);
+    f := f.next
+  END;
+  RETURN ABS(h)
+END Hash;
+
+PROCEDURE FieldsEqual(a, b: Field): BOOLEAN;
+BEGIN
+  WHILE a # NIL AND b # NIL DO
+    IF NOT Equal(a.ftype, b.ftype) THEN RETURN FALSE END;
+    a := a.next;
+    b := b.next
+  END;
+  RETURN a = NIL AND b = NIL
+END FieldsEqual;
+
+PROCEDURE Equal(a, b: Type): BOOLEAN;
+BEGIN
+  probes := probes + 1;
+  IF a = b THEN RETURN TRUE END;
+  IF a.kind # b.kind THEN RETURN FALSE END;
+  IF a.size # b.size THEN RETURN FALSE END;
+  IF a.elt # NIL THEN
+    IF b.elt = NIL THEN RETURN FALSE END;
+    IF NOT Equal(a.elt, b.elt) THEN RETURN FALSE END
+  ELSIF b.elt # NIL THEN
+    RETURN FALSE
+  END;
+  RETURN FieldsEqual(a.fields, b.fields)
+END Equal;
+
+PROCEDURE Lookup(t: Type): Type;
+VAR b: Bucket; h: INTEGER;
+BEGIN
+  h := Hash(t) MOD NUMBER(registry);
+  b := registry[h];
+  WHILE b # NIL DO
+    IF Equal(b.t, t) THEN RETURN b.t END;
+    b := b.next
+  END;
+  RETURN NIL
+END Lookup;
+
+PROCEDURE Register(t: Type): Type;
+VAR existing: Type; b: Bucket; h: INTEGER;
+BEGIN
+  existing := Lookup(t);
+  IF existing # NIL THEN
+    nhits := nhits + 1;
+    RETURN existing
+  END;
+  h := Hash(t) MOD NUMBER(registry);
+  b := NEW(Bucket);
+  b.t := t;
+  b.next := registry[h];
+  registry[h] := b;
+  nregistered := nregistered + 1;
+  RETURN t
+END Register;
+
+PROCEDURE BuildChain(depth: INTEGER): Type;
+BEGIN
+  IF depth = 0 THEN RETURN MkPrim(0) END;
+  RETURN MkPtr(BuildChain(depth - 1))
+END BuildChain;
+
+PROCEDURE BuildRecord(nfields, fdepth: INTEGER): Type;
+VAR r: Type; k: INTEGER;
+BEGIN
+  r := MkRecord();
+  FOR k := 1 TO nfields DO
+    AddField(r, BuildChain(fdepth))
+  END;
+  RETURN r
+END BuildRecord;
+
+BEGIN
+  registry := NEW(Table, 64);
+  nregistered := 0;
+  nhits := 0;
+  probes := 0;
+  (* pointer chains of varying depth, registered twice each *)
+  FOR i := 1 TO 40 DO
+    t := Register(BuildChain(i MOD 13));
+    u := Register(BuildChain(i MOD 13));
+    IF t # u THEN PutText("BUG: chain not shared"); PutLn() END
+  END;
+  (* arrays over chains *)
+  FOR i := 1 TO 40 DO
+    t := Register(MkArray(BuildChain(i MOD 7), i MOD 9 + 1));
+    u := Register(MkArray(BuildChain(i MOD 7), i MOD 9 + 1));
+    IF t # u THEN PutText("BUG: array not shared"); PutLn() END
+  END;
+  (* records with field lists *)
+  FOR i := 1 TO 30 DO
+    FOR j := 1 TO 3 DO
+      t := Register(BuildRecord(i MOD 5 + 1, j))
+    END
+  END;
+  PutText("typereg: registered=");
+  PutInt(nregistered);
+  PutText(" hits=");
+  PutInt(nhits);
+  PutText(" probes>0=");
+  IF probes > 0 THEN PutInt(1) ELSE PutInt(0) END;
+  PutLn()
+END Typereg.
+|}

@@ -1,0 +1,1 @@
+lib/rt/typedesc.ml: Array Format List M3l String

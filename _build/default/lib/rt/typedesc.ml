@@ -1,0 +1,89 @@
+(** Runtime type descriptors.
+
+    Modula-3 requires a type descriptor in every heap object; this is what
+    makes requirements (i) and (ii) of the paper ("determine the size of heap
+    objects" / "locate pointers contained in heap objects") straightforward.
+    Every heap object starts with a one-word header holding its descriptor
+    index; open arrays add a second header word holding the element count.
+
+    Object layouts (word offsets from the object pointer, which is tidy and
+    points at the header):
+    {v
+      fixed:  [0] tdesc id   [1..size]      data words
+      open:   [0] tdesc id   [1] length     [2..2+len*elt_size-1] elements
+    v} *)
+
+type t =
+  | Fixed of { size : int; ptr_offsets : int list }
+      (** [size] data words; [ptr_offsets] are data-relative (0-based) word
+          offsets containing pointers. *)
+  | Open of { elt_size : int; elt_ptr_offsets : int list }
+      (** Open array: per-element size and pointer offsets within an element. *)
+
+let fixed_header_words = 1
+let open_header_words = 2
+
+(** Total object size in words given the descriptor and (for open arrays)
+    the length. *)
+let object_words t ~length =
+  match t with
+  | Fixed { size; _ } -> fixed_header_words + size
+  | Open { elt_size; _ } -> open_header_words + (length * elt_size)
+
+(** Object-relative word offsets of the pointers inside an object. *)
+let object_ptr_offsets t ~length =
+  match t with
+  | Fixed { ptr_offsets; _ } -> List.map (fun o -> o + fixed_header_words) ptr_offsets
+  | Open { elt_size; elt_ptr_offsets } ->
+      if elt_ptr_offsets = [] then []
+      else
+        List.concat
+          (List.init length (fun i ->
+               List.map (fun o -> open_header_words + (i * elt_size) + o) elt_ptr_offsets))
+
+(* ------------------------------------------------------------------ *)
+(* Interning table built at compile time                               *)
+(* ------------------------------------------------------------------ *)
+
+type table = { mutable descs : t list (* reversed *); mutable count : int }
+
+let create_table () = { descs = []; count = 0 }
+
+let intern tbl d =
+  (* Linear search is fine: programs have few distinct heap types. *)
+  let rec find i = function
+    | [] -> None
+    | d' :: rest -> if d' = d then Some (tbl.count - 1 - i) else find (i + 1) rest
+  in
+  match find 0 tbl.descs with
+  | Some id -> id
+  | None ->
+      let id = tbl.count in
+      tbl.descs <- d :: tbl.descs;
+      tbl.count <- tbl.count + 1;
+      id
+
+let of_m3l_type (ty : M3l.Types.ty) : t =
+  match ty with
+  | M3l.Types.Topen elt ->
+      Open
+        {
+          elt_size = M3l.Types.size_words elt;
+          elt_ptr_offsets = M3l.Types.pointer_offsets elt;
+        }
+  | other ->
+      Fixed
+        {
+          size = M3l.Types.size_words other;
+          ptr_offsets = M3l.Types.pointer_offsets other;
+        }
+
+let to_array tbl = Array.of_list (List.rev tbl.descs)
+
+let pp fmt = function
+  | Fixed { size; ptr_offsets } ->
+      Format.fprintf fmt "fixed(size=%d, ptrs=[%s])" size
+        (String.concat ";" (List.map string_of_int ptr_offsets))
+  | Open { elt_size; elt_ptr_offsets } ->
+      Format.fprintf fmt "open(elt=%d, ptrs=[%s])" elt_size
+        (String.concat ";" (List.map string_of_int elt_ptr_offsets))

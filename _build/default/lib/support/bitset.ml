@@ -1,0 +1,83 @@
+type t = { width : int; words : int array }
+
+let bits_per_word = 62
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create";
+  { width; words = Array.make ((width + bits_per_word - 1) / bits_per_word + 1) 0 }
+
+let length t = t.width
+
+let check t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitset: index out of bounds"
+
+let set t i =
+  check t i;
+  t.words.(i / bits_per_word) <-
+    t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  t.words.(i / bits_per_word) <-
+    t.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let copy t = { t with words = Array.copy t.words }
+
+let union_into ~dst src =
+  if dst.width <> src.width then invalid_arg "Bitset.union_into: width mismatch";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_bytes t =
+  let nbytes = (t.width + 7) / 8 in
+  let b = Bytes.make nbytes '\000' in
+  iter
+    (fun i ->
+      let byte = Char.code (Bytes.get b (i / 8)) in
+      Bytes.set b (i / 8) (Char.chr (byte lor (1 lsl (i mod 8)))))
+    t;
+  b
+
+let of_bytes ~width b pos =
+  let nbytes = (width + 7) / 8 in
+  if pos + nbytes > Bytes.length b then invalid_arg "Bitset.of_bytes: truncated";
+  let t = create width in
+  for i = 0 to width - 1 do
+    let byte = Char.code (Bytes.get b (pos + (i / 8))) in
+    if byte land (1 lsl (i mod 8)) <> 0 then set t i
+  done;
+  (t, pos + nbytes)
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if not !first then Format.fprintf fmt ",";
+      first := false;
+      Format.fprintf fmt "%d" i)
+    t;
+  Format.fprintf fmt "}"

@@ -1,0 +1,37 @@
+(** Fixed-width mutable bitsets, used for liveness vectors, the per-gc-point
+    delta tables (one bit per ground-table entry) and register-pointer masks
+    (one bit per hard register). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of width [n], all bits clear. *)
+
+val length : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+val count : t -> int
+
+val equal : t -> t -> bool
+val copy : t -> t
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets every bit of [src] in [dst]; widths must match. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to each set bit index, ascending. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_bytes : t -> Bytes.t
+(** Pack into ⌈n/8⌉ bytes, bit [i] at byte [i/8], position [i mod 8] (LSB first). *)
+
+val of_bytes : width:int -> Bytes.t -> int -> t * int
+(** [of_bytes ~width b pos] unpacks a bitset of [width] bits starting at byte
+    [pos]; returns the bitset and the position past it. *)
+
+val pp : Format.formatter -> t -> unit

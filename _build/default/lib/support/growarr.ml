@@ -1,0 +1,29 @@
+(** Growable arrays (OCaml 5.1 has no Dynarray yet). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Growarr.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Growarr.set";
+  t.data.(i) <- v
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) t.dummy in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let to_array t = Array.sub t.data 0 t.len
+let iter f t = for i = 0 to t.len - 1 do f t.data.(i) done
+let iteri f t = for i = 0 to t.len - 1 do f i t.data.(i) done

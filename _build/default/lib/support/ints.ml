@@ -1,0 +1,7 @@
+(** Shared instantiations of integer sets and maps, so every compiler pass
+    uses the same modules (and the same physical comparison function). *)
+
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)

@@ -1,0 +1,15 @@
+(** Small deterministic PRNG (xorshift64-star), used by tests and workload
+    generators so experiments are reproducible run-to-run. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator; [seed] 0 is remapped to a fixed nonzero. *)
+
+val next : t -> int
+(** Next raw 62-bit nonnegative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if bound ≤ 0. *)
+
+val bool : t -> bool

@@ -1,0 +1,42 @@
+(* Packed-word codec (paper Fig. 3): 7 payload bits per byte, high bit =
+   continuation, most-significant group first, first byte sign-extended. *)
+
+let fits_signed ~bits v =
+  let lo = -(1 lsl (bits - 1)) in
+  let hi = (1 lsl (bits - 1)) - 1 in
+  v >= lo && v <= hi
+
+let byte_length v =
+  let rec go n = if fits_signed ~bits:(7 * n) v then n else go (n + 1) in
+  go 1
+
+let encode buf v =
+  let n = byte_length v in
+  for i = n - 1 downto 0 do
+    let group = (v asr (7 * i)) land 0x7f in
+    let cont = if i = 0 then 0 else 0x80 in
+    Buffer.add_char buf (Char.chr (cont lor group))
+  done
+
+let decode bytes pos =
+  let len = Bytes.length bytes in
+  if pos < 0 || pos >= len then invalid_arg "Varint.decode: position out of bounds";
+  let b0 = Char.code (Bytes.get bytes pos) in
+  (* Sign-extend the 7-bit payload of the first byte. *)
+  let v0 =
+    let p = b0 land 0x7f in
+    if p land 0x40 <> 0 then p - 0x80 else p
+  in
+  let rec go v pos cont =
+    if not cont then (v, pos)
+    else if pos >= len then invalid_arg "Varint.decode: truncated encoding"
+    else
+      let b = Char.code (Bytes.get bytes pos) in
+      go ((v lsl 7) lor (b land 0x7f)) (pos + 1) (b land 0x80 <> 0)
+  in
+  go v0 (pos + 1) (b0 land 0x80 <> 0)
+
+let encode_to_bytes v =
+  let buf = Buffer.create 4 in
+  encode buf v;
+  Buffer.to_bytes buf

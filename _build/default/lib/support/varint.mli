@@ -1,0 +1,20 @@
+(** Byte-level packing of words, exactly the format of Fig. 3 of the paper:
+    each word is encoded in one or more bytes; the high bit of a byte is set
+    iff the following byte is also part of the word (continuation); bytes are
+    stored from most- to least-significant 7-bit group; the first byte's
+    payload is sign-extended, since many stack offsets are negative. *)
+
+val byte_length : int -> int
+(** [byte_length v] is the number of bytes [encode] emits for [v] (≥ 1). *)
+
+val encode : Buffer.t -> int -> unit
+(** [encode buf v] appends the packed encoding of [v] to [buf]. *)
+
+val decode : Bytes.t -> int -> int * int
+(** [decode bytes pos] reads one packed word starting at [pos]; returns
+    [(value, next_pos)].
+    @raise Invalid_argument if [pos] is out of bounds or the encoding runs
+    past the end of [bytes]. *)
+
+val encode_to_bytes : int -> Bytes.t
+(** [encode_to_bytes v] is the packed encoding of [v] alone. *)

@@ -1,0 +1,1 @@
+lib/vm/image.ml: Array Char Codegen Gcmaps List Machine Mir Rt String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Char Image List Machine Mir Rt Vm_error

@@ -1,0 +1,313 @@
+(** The UVM interpreter.
+
+    Machine state is untagged: registers and memory hold plain integers, and
+    heap pointers are just word addresses — nothing at run time
+    distinguishes a pointer from an integer except the compiler-emitted gc
+    tables, which is the paper's setting.
+
+    Runtime routines execute natively and preserve all registers (except r0
+    when they return a value). Allocation may invoke the installed
+    collector, which is free to move every heap object and rewrite
+    registers, stack and globals through the tables. *)
+
+module I = Machine.Insn
+
+type gc_stats = {
+  mutable collections : int;
+  mutable words_copied : int;
+  mutable total_gc_ns : int64;
+  mutable trace_ns : int64; (* time spent locating/decoding/rooting stacks *)
+  mutable frames_traced : int;
+  mutable objects_copied : int;
+}
+
+type t = {
+  image : Image.t;
+  mem : int array;
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  out : Buffer.t;
+  (* Heap state (flipped by the collector). *)
+  mutable from_base : int;
+  mutable to_base : int;
+  mutable alloc : int;
+  mutable free_list : (int * int) list; (* (addr, size) — used by the
+                                           non-moving conservative collector *)
+  mutable collector : (t -> needed:int -> unit) option;
+  mutable on_alloc : (int -> int -> unit) option; (* (address, size) hook *)
+  mutable gc_check_forces : bool; (* Rt_gc_check triggers a collection *)
+  mutable icount : int;
+  mutable alloc_count : int;
+  mutable alloc_words : int;
+  gc : gc_stats;
+}
+
+let create (image : Image.t) : t =
+  let mem = Array.make image.Image.total_words 0 in
+  List.iter (fun (a, v) -> mem.(a) <- v) image.Image.static_init;
+  {
+    image;
+    mem;
+    regs = Array.make Machine.Reg.nregs 0;
+    pc = image.Image.procs.(image.Image.main_fid).Image.pi_entry;
+    halted = false;
+    out = Buffer.create 256;
+    from_base = image.Image.heap_base;
+    to_base = image.Image.heap_base + image.Image.semi_words;
+    alloc = image.Image.heap_base;
+    free_list = [];
+    collector = None;
+    on_alloc = None;
+    gc_check_forces = false;
+    icount = 0;
+    alloc_count = 0;
+    alloc_words = 0;
+    gc =
+      {
+        collections = 0;
+        words_copied = 0;
+        total_gc_ns = 0L;
+        trace_ns = 0L;
+        frames_traced = 0;
+        objects_copied = 0;
+      };
+  }
+
+let sp t = t.regs.(Machine.Reg.sp)
+let fp t = t.regs.(Machine.Reg.fp)
+let set_sp t v = t.regs.(Machine.Reg.sp) <- v
+let set_fp t v = t.regs.(Machine.Reg.fp) <- v
+
+let read t a =
+  if a < 0 || a >= Array.length t.mem then Vm_error.fail "memory read out of range: %d" a;
+  t.mem.(a)
+
+let write t a v =
+  if a < 8 || a >= Array.length t.mem then Vm_error.fail "memory write out of range: %d" a;
+  t.mem.(a) <- v
+
+let eval t (o : I.operand) : int =
+  match o with
+  | I.Reg r -> t.regs.(r)
+  | I.Imm n -> n
+  | I.Mem (r, d) -> read t (t.regs.(r) + d)
+  | I.Mem2 (r1, r2, d) -> read t (t.regs.(r1) + t.regs.(r2) + d)
+  | I.Defer (r, d1, d2) -> read t (read t (t.regs.(r) + d1) + d2)
+  | I.Abs a -> read t a
+
+let addr_of t (o : I.operand) : int =
+  match o with
+  | I.Mem (r, d) -> t.regs.(r) + d
+  | I.Mem2 (r1, r2, d) -> t.regs.(r1) + t.regs.(r2) + d
+  | I.Defer (r, d1, d2) -> read t (t.regs.(r) + d1) + d2
+  | I.Abs a -> a
+  | I.Reg _ | I.Imm _ -> Vm_error.fail "effective address of a non-memory operand"
+
+let store t (o : I.operand) v =
+  match o with
+  | I.Reg r -> t.regs.(r) <- v
+  | I.Imm _ -> Vm_error.fail "store to immediate"
+  | I.Mem _ | I.Mem2 _ | I.Defer _ | I.Abs _ -> write t (addr_of t o) v
+
+(* Modula-3 arithmetic: DIV rounds toward minus infinity, MOD takes the
+   divisor's sign. *)
+let m3_div a b =
+  if b = 0 then Vm_error.fail "division by zero"
+  else
+    let q = a / b in
+    if (a < 0) <> (b < 0) && q * b <> a then q - 1 else q
+
+let m3_mod a b = if b = 0 then Vm_error.fail "modulo by zero" else a - (b * m3_div a b)
+
+let apply_aop (op : I.aop) a b =
+  match op with
+  | I.Add -> a + b
+  | I.Sub -> a - b
+  | I.Mul -> a * b
+  | I.Div -> m3_div a b
+  | I.Mod -> m3_mod a b
+  | I.Min -> min a b
+  | I.Max -> max a b
+  | I.Neg -> -a
+  | I.Abso -> abs a
+  | I.Setcc r -> if I.relop_eval r a b then 1 else 0
+
+let push t v =
+  let nsp = sp t - 1 in
+  if nsp < t.image.Image.stack_base then Vm_error.fail "stack overflow";
+  set_sp t nsp;
+  write t nsp v
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let heap_free t = t.from_base + t.image.Image.semi_words - t.alloc
+
+let ensure_space t needed =
+  if heap_free t < needed then
+    match t.collector with Some collect -> collect t ~needed | None -> ()
+
+(* First-fit from the free list (installed by the non-moving conservative
+   collector); the remainder of a larger block is returned to the list. *)
+let take_free_list t size =
+  let rec go acc = function
+    | [] -> None
+    | (a, sz) :: rest when sz >= size ->
+        let rest = if sz > size then (a + size, sz - size) :: rest else rest in
+        t.free_list <- List.rev_append acc rest;
+        Some a
+    | entry :: rest -> go (entry :: acc) rest
+  in
+  go [] t.free_list
+
+(* Bump allocation in from-space; the free list is consulted first, and
+   again after a collection refills it. *)
+let allocate t size =
+  match take_free_list t size with
+  | Some a -> a
+  | None -> (
+      ensure_space t size;
+      match take_free_list t size with
+      | Some a -> a
+      | None ->
+          if heap_free t < size then Vm_error.fail "heap exhausted (%d words)" size;
+          let a = t.alloc in
+          t.alloc <- t.alloc + size;
+          a)
+
+let rt_alloc t tdid ~length =
+  let td = t.image.Image.tdescs.(tdid) in
+  let size = Rt.Typedesc.object_words td ~length in
+  let a = allocate t size in
+  for i = 0 to size - 1 do
+    t.mem.(a + i) <- 0
+  done;
+  t.mem.(a) <- tdid;
+  (match td with
+  | Rt.Typedesc.Open _ -> t.mem.(a + 1) <- length
+  | Rt.Typedesc.Fixed _ -> ());
+  t.alloc_count <- t.alloc_count + 1;
+  t.alloc_words <- t.alloc_words + size;
+  (match t.on_alloc with Some f -> f a size | None -> ());
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Runtime calls                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Guest_error of string
+
+let rt_nargs = function
+  | Mir.Ir.Rt_alloc -> 1
+  | Mir.Ir.Rt_alloc_open -> 2
+  | Mir.Ir.Rt_gc_check -> 0
+  | Mir.Ir.Rt_put_int -> 1
+  | Mir.Ir.Rt_put_char -> 1
+  | Mir.Ir.Rt_put_text -> 1
+  | Mir.Ir.Rt_put_ln -> 0
+  | Mir.Ir.Rt_halt -> 0
+  | Mir.Ir.Rt_bounds_error -> 0
+  | Mir.Ir.Rt_nil_error -> 0
+
+let exec_rt t (rc : Mir.Ir.rt_call) =
+  let arg i = read t (sp t + i) in
+  (match rc with
+  | Mir.Ir.Rt_alloc -> t.regs.(Machine.Reg.ret) <- rt_alloc t (arg 0) ~length:0
+  | Mir.Ir.Rt_alloc_open -> t.regs.(Machine.Reg.ret) <- rt_alloc t (arg 0) ~length:(arg 1)
+  | Mir.Ir.Rt_gc_check ->
+      if t.gc_check_forces then
+        (match t.collector with Some c -> c t ~needed:0 | None -> ())
+  | Mir.Ir.Rt_put_int -> Buffer.add_string t.out (string_of_int (arg 0))
+  | Mir.Ir.Rt_put_char -> Buffer.add_char t.out (Char.chr (arg 0 land 0xff))
+  | Mir.Ir.Rt_put_text ->
+      let p = arg 0 in
+      if p = 0 then raise (Guest_error "PutText: NIL")
+      else begin
+        let len = read t (p + 1) in
+        for i = 0 to len - 1 do
+          Buffer.add_char t.out (Char.chr (read t (p + 2 + i) land 0xff))
+        done
+      end
+  | Mir.Ir.Rt_put_ln -> Buffer.add_char t.out '\n'
+  | Mir.Ir.Rt_halt -> t.halted <- true
+  | Mir.Ir.Rt_bounds_error -> raise (Guest_error "array index out of range")
+  | Mir.Ir.Rt_nil_error -> raise (Guest_error "NIL dereference"));
+  (* Pop the arguments; runtime calls push no return address. *)
+  set_sp t (sp t + rt_nargs rc)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sentinel_ret = -1
+
+let reset t =
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  set_sp t t.image.Image.stack_top;
+  push t sentinel_ret;
+  t.pc <- t.image.Image.procs.(t.image.Image.main_fid).Image.pi_entry;
+  t.halted <- false
+
+let step t =
+  let insn = t.image.Image.code.(t.pc) in
+  t.icount <- t.icount + 1;
+  match insn with
+  | I.Mov (d, s) ->
+      store t d (eval t s);
+      t.pc <- t.pc + 1
+  | I.Lea (r, o) ->
+      t.regs.(r) <- addr_of t o;
+      t.pc <- t.pc + 1
+  | I.Arith (op, d, a, b) ->
+      store t d (apply_aop op (eval t a) (eval t b));
+      t.pc <- t.pc + 1
+  | I.Cbr (r, a, b, target) ->
+      if I.relop_eval r (eval t a) (eval t b) then t.pc <- target else t.pc <- t.pc + 1
+  | I.Jmp target -> t.pc <- target
+  | I.Push o ->
+      push t (eval t o);
+      t.pc <- t.pc + 1
+  | I.Call (I.Cproc fid) ->
+      push t (t.pc + 1);
+      t.pc <- t.image.Image.procs.(fid).Image.pi_entry
+  | I.Call (I.Crt rc) ->
+      exec_rt t rc;
+      if not t.halted then t.pc <- t.pc + 1
+  | I.Enter { frame_size; saves } ->
+      push t (fp t);
+      set_fp t (sp t);
+      let f = fp t in
+      if f - frame_size < t.image.Image.stack_base then Vm_error.fail "stack overflow";
+      for i = 1 to frame_size do
+        t.mem.(f - i) <- 0
+      done;
+      List.iteri (fun i r -> t.mem.(f - 1 - i) <- t.regs.(r)) saves;
+      set_sp t (f - frame_size);
+      t.pc <- t.pc + 1
+  | I.Leave ->
+      let f = fp t in
+      (* Restore callee-saved registers from this procedure's save slots. *)
+      let fid = Image.proc_of_code_index t.image t.pc in
+      List.iter (fun (r, off) -> t.regs.(r) <- read t (f + off)) t.image.Image.procs.(fid).Image.pi_saves;
+      set_sp t f;
+      set_fp t (read t f);
+      set_sp t (sp t + 1);
+      t.pc <- t.pc + 1
+  | I.Ret n ->
+      let ra = read t (sp t) in
+      set_sp t (sp t + 1 + n);
+      if ra = sentinel_ret then t.halted <- true else t.pc <- ra
+  | I.Trap msg -> raise (Guest_error msg)
+
+let run ?(fuel = max_int) t =
+  reset t;
+  let budget = ref fuel in
+  while (not t.halted) && !budget > 0 do
+    step t;
+    decr budget
+  done;
+  if not t.halted then Vm_error.fail "out of fuel after %d instructions" fuel
+
+let output t = Buffer.contents t.out

@@ -1,0 +1,6 @@
+(** Runtime failures of the UVM (distinct from guest-program error traps,
+    which are reported with their own messages). *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt

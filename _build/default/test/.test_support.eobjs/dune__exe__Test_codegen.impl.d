@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Driver Gcmaps List M3l Machine Mir Opt Printf Programs String Support

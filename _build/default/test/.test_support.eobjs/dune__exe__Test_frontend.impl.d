@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest List M3l Printf

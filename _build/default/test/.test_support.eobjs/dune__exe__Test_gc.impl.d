@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Driver Gc Gcmaps List Option Printf Programs Vm

@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array List M3l Mir Printf Support

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Driver Gcmaps Lazy List Mir Opt Programs String Support Vm

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Driver Gcmaps List Machine Printf Programs String Vm

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Array Buffer Driver List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bitset Buffer Bytes Growarr List Printf Prng QCheck QCheck_alcotest Support Varint

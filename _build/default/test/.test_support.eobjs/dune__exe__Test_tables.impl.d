@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Bytes Gcmaps List Printf QCheck QCheck_alcotest Support

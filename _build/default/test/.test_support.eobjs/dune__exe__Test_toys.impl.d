@@ -1,0 +1,1 @@
+test/test_toys.ml: Alcotest Driver List Printf

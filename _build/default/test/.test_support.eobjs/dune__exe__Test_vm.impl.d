@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Driver Encode_insn Insn List Machine Printf String Vm

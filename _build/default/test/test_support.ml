@@ -1,0 +1,200 @@
+(* Unit and property tests for the support library: the Fig. 3 varint
+   codec, bitsets, growable arrays and the PRNG. *)
+
+open Support
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Varint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  let b = Varint.encode_to_bytes v in
+  let v', pos = Varint.decode b 0 in
+  check Alcotest.int "value" v v';
+  check Alcotest.int "consumed" (Bytes.length b) pos
+
+let test_varint_small () =
+  List.iter roundtrip [ 0; 1; -1; 63; -64; 64; -65; 127; 128; -128; 1000; -1000 ]
+
+let test_varint_boundaries () =
+  (* 7-bit group boundaries: -(2^(7k-1)) and 2^(7k-1)-1 switch lengths. *)
+  List.iter
+    (fun k ->
+      let hi = (1 lsl ((7 * k) - 1)) - 1 in
+      let lo = -(1 lsl ((7 * k) - 1)) in
+      check Alcotest.int (Printf.sprintf "len hi k=%d" k) k (Varint.byte_length hi);
+      check Alcotest.int (Printf.sprintf "len lo k=%d" k) k (Varint.byte_length lo);
+      check Alcotest.int
+        (Printf.sprintf "len hi+1 k=%d" k)
+        (k + 1)
+        (Varint.byte_length (hi + 1));
+      check Alcotest.int
+        (Printf.sprintf "len lo-1 k=%d" k)
+        (k + 1)
+        (Varint.byte_length (lo - 1));
+      roundtrip hi;
+      roundtrip lo;
+      roundtrip (hi + 1);
+      roundtrip (lo - 1))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_varint_single_byte () =
+  (* The paper's claim: most ground-table entries fit in one byte; values in
+     [-64, 63] must take exactly one. *)
+  for v = -64 to 63 do
+    check Alcotest.int "one byte" 1 (Varint.byte_length v)
+  done
+
+let test_varint_stream () =
+  (* Several values encoded back to back decode in sequence. *)
+  let values = [ 5; -3; 1000; 0; -70000; 42 ] in
+  let buf = Buffer.create 32 in
+  List.iter (Varint.encode buf) values;
+  let b = Buffer.to_bytes buf in
+  let pos = ref 0 in
+  List.iter
+    (fun v ->
+      let v', p = Varint.decode b !pos in
+      check Alcotest.int "stream value" v v';
+      pos := p)
+    values;
+  check Alcotest.int "stream consumed" (Bytes.length b) !pos
+
+let test_varint_truncated () =
+  (* A continuation bit with nothing after it must raise. *)
+  let b = Bytes.of_string "\x80" in
+  Alcotest.check_raises "truncated" (Invalid_argument "Varint.decode: truncated encoding")
+    (fun () -> ignore (Varint.decode b 0))
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip (arbitrary int)" ~count:1000
+    QCheck.(frequency [ (3, small_signed_int); (2, int) ])
+    (fun v ->
+      let b = Varint.encode_to_bytes v in
+      let v', pos = Varint.decode b 0 in
+      v = v' && pos = Bytes.length b)
+
+let prop_varint_length_monotone =
+  QCheck.Test.make ~name:"varint length grows with magnitude" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let x = min a b and y = max a b in
+      Varint.byte_length x <= Varint.byte_length y)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 70 in
+  check Alcotest.bool "empty" true (Bitset.is_empty b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 69;
+  check Alcotest.bool "mem 0" true (Bitset.mem b 0);
+  check Alcotest.bool "mem 63" true (Bitset.mem b 63);
+  check Alcotest.bool "mem 69" true (Bitset.mem b 69);
+  check Alcotest.bool "mem 1" false (Bitset.mem b 1);
+  check Alcotest.int "count" 3 (Bitset.count b);
+  Bitset.clear b 63;
+  check Alcotest.bool "cleared" false (Bitset.mem b 63);
+  check Alcotest.int "count after clear" 2 (Bitset.count b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set b 8);
+  Alcotest.check_raises "neg" (Invalid_argument "Bitset: index out of bounds") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let test_bitset_bytes_roundtrip () =
+  let b = Bitset.create 19 in
+  List.iter (Bitset.set b) [ 0; 3; 7; 8; 15; 18 ];
+  let packed = Bitset.to_bytes b in
+  check Alcotest.int "packed size" 3 (Bytes.length packed);
+  let b', pos = Bitset.of_bytes ~width:19 packed 0 in
+  check Alcotest.bool "equal" true (Bitset.equal b b');
+  check Alcotest.int "pos" 3 pos
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset to_bytes/of_bytes roundtrip" ~count:300
+    QCheck.(pair (int_range 1 200) (list small_nat))
+    (fun (width, indices) ->
+      let b = Bitset.create width in
+      List.iter (fun i -> if i < width then Bitset.set b i) indices;
+      let b', _ = Bitset.of_bytes ~width (Bitset.to_bytes b) 0 in
+      Bitset.equal b b')
+
+let prop_bitset_union =
+  QCheck.Test.make ~name:"union contains both operands" ~count:300
+    QCheck.(triple (int_range 1 100) (list small_nat) (list small_nat))
+    (fun (width, xs, ys) ->
+      let a = Bitset.create width and b = Bitset.create width in
+      List.iter (fun i -> if i < width then Bitset.set a i) xs;
+      List.iter (fun i -> if i < width then Bitset.set b i) ys;
+      let u = Bitset.copy a in
+      Bitset.union_into ~dst:u b;
+      Bitset.fold (fun i acc -> acc && Bitset.mem u i) a true
+      && Bitset.fold (fun i acc -> acc && Bitset.mem u i) b true)
+
+(* ------------------------------------------------------------------ *)
+(* Growarr, Prng                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_growarr () =
+  let g = Growarr.create ~dummy:(-1) in
+  for i = 0 to 99 do
+    let idx = Growarr.push g (i * 2) in
+    check Alcotest.int "push index" i idx
+  done;
+  check Alcotest.int "length" 100 (Growarr.length g);
+  check Alcotest.int "get 50" 100 (Growarr.get g 50);
+  Growarr.set g 50 7;
+  check Alcotest.int "set/get" 7 (Growarr.get g 50);
+  check Alcotest.int "to_array" 100 (Array.length (Growarr.to_array g))
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "varint",
+        [
+          Alcotest.test_case "small values" `Quick test_varint_small;
+          Alcotest.test_case "group boundaries" `Quick test_varint_boundaries;
+          Alcotest.test_case "single byte range" `Quick test_varint_single_byte;
+          Alcotest.test_case "stream" `Quick test_varint_stream;
+          Alcotest.test_case "truncated" `Quick test_varint_truncated;
+          QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+          QCheck_alcotest.to_alcotest prop_varint_length_monotone;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bitset_bytes_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bitset_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bitset_union;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "growarr" `Quick test_growarr;
+          Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+        ] );
+    ]
