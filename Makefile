@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is what CI runs: full build, the
+# eleven-suite + telemetry test run, and an observability smoke test that
+# executes a collecting workload with tracing on and validates the emitted
+# Chrome trace JSON (parses, spans balanced, all four gc pause phases
+# present).
+
+DUNE ?= dune
+TRACE_OUT := _build/smoke.trace.json
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+smoke: build
+	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
+	  examples/sample.m3l > /dev/null
+	$(DUNE) exec tools/validate_trace.exe -- $(TRACE_OUT) \
+	  gc.collect gc.stackwalk gc.underive gc.copy gc.rederive
+
+check: build test smoke
+	@echo "check: ok"
+
+bench: build
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -20,7 +20,7 @@ let read_file path =
   s
 
 let run_compiler file optimize checks no_gc_restrict loop_gcpoints dump_mir dump_code
-    dump_tables stats =
+    dump_tables stats timings =
   let options =
     {
       Driver.Compile.default_options with
@@ -30,6 +30,7 @@ let run_compiler file optimize checks no_gc_restrict loop_gcpoints dump_mir dump
       loop_gcpoints;
     }
   in
+  if timings then Telemetry.Control.enable ();
   try
     let source = read_file file in
     let prog = Driver.Compile.to_mir ~options source in
@@ -71,7 +72,11 @@ let run_compiler file optimize checks no_gc_restrict loop_gcpoints dump_mir dump
         (fun (name, pct) -> Printf.printf "%-16s %6.1f%% of code\n" name pct)
         (Gcmaps.Table_stats.size_percentages img.Vm.Image.rawmaps)
     end;
-    if not (dump_mir || dump_code || dump_tables || stats) then
+    if timings then begin
+      Printf.printf "pass timings (wall clock):\n";
+      print_string (Telemetry.Timer.to_text ())
+    end;
+    if not (dump_mir || dump_code || dump_tables || stats || timings) then
       Printf.printf "%s: %d instructions, %d code bytes, %d bytes of gc tables\n" file
         (Array.length img.Vm.Image.code)
         img.Vm.Image.code_bytes
@@ -102,6 +107,8 @@ let dump_code = Arg.(value & flag & info [ "dump-code" ] ~doc:"Print UVM assembl
 let dump_tables =
   Arg.(value & flag & info [ "dump-tables" ] ~doc:"Print the per-gc-point gc tables.")
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print table statistics.")
+let timings =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Print per-pass compile timings.")
 
 let cmd =
   let doc = "compile M3L and inspect the generated gc tables" in
@@ -110,6 +117,6 @@ let cmd =
     Term.(
       ret
         (const run_compiler $ file $ optimize $ checks $ no_gc_restrict $ loop_gcpoints
-       $ dump_mir $ dump_code $ dump_tables $ stats))
+       $ dump_mir $ dump_code $ dump_tables $ stats $ timings))
 
 let () = exit (Cmd.eval cmd)

@@ -2,9 +2,11 @@
 
      mmrun file.m3l
      mmrun -O --heap 4096 --collector conservative file.m3l
-     mmrun --gc-stats file.m3l *)
+     mmrun --gc-stats file.m3l
+     mmrun --trace out.json --metrics file.m3l *)
 
 open Cmdliner
+module T = Telemetry
 
 let read_file path =
   let ic = open_in_bin path in
@@ -13,12 +15,63 @@ let read_file path =
   close_in ic;
   s
 
-let run file optimize checks heap stack collector gc_stats fuel =
+(* Per-collection report, read back from the Metrics histograms the
+   collectors populate (the single source of truth for gc numbers). The
+   conservative collector has no phase breakdown; missing samples print
+   as blanks. *)
+let print_gc_stats () =
+  let samples name = T.Metrics.samples (T.Metrics.histogram name) in
+  let pauses = samples "gc.pause_ns" in
+  let n = Array.length pauses in
+  Printf.eprintf "collections  : %d\n" (T.Metrics.counter_value "gc.collections");
+  if n > 0 then begin
+    Printf.eprintf "%4s %10s %9s %10s %9s %10s %8s %8s %7s\n" "#" "pause us"
+      "walk us" "underiv us" "copy us" "rederiv us" "words" "objects" "frames";
+    let walk = samples "gc.stackwalk_ns" in
+    let underive = samples "gc.underive_ns" in
+    let copy = samples "gc.copy_ns" in
+    let rederive = samples "gc.rederive_ns" in
+    let words = samples "gc.words_copied" in
+    let objects = samples "gc.objects_copied" in
+    let frames = samples "gc.frames" in
+    let us arr i =
+      if i < Array.length arr then Printf.sprintf "%.1f" (arr.(i) /. 1e3) else "-"
+    in
+    let int_of arr i =
+      if i < Array.length arr then Printf.sprintf "%.0f" arr.(i) else "-"
+    in
+    for i = 0 to n - 1 do
+      Printf.eprintf "%4d %10s %9s %10s %9s %10s %8s %8s %7s\n" (i + 1)
+        (us pauses i) (us walk i) (us underive i) (us copy i) (us rederive i)
+        (int_of words i) (int_of objects i) (int_of frames i)
+    done
+  end;
+  let hist_sum name = (T.Metrics.histogram name).T.Metrics.h_sum in
+  Printf.eprintf "instructions : %d\n" (T.Metrics.counter_value "vm.instructions");
+  Printf.eprintf "allocations  : %d (%d words)\n"
+    (T.Metrics.counter_value "vm.allocations")
+    (T.Metrics.counter_value "vm.alloc_words");
+  Printf.eprintf "words copied : %.0f\n" (hist_sum "gc.words_copied");
+  Printf.eprintf "frames traced: %d\n" (T.Metrics.counter_value "gc.frames_traced");
+  Printf.eprintf "derived vals : %d un-derived, %d re-derived\n"
+    (T.Metrics.counter_value "derived.underived")
+    (T.Metrics.counter_value "derived.rederived");
+  Printf.eprintf "table decode : %d lookups, %d bytes scanned\n"
+    (T.Metrics.counter_value "decode.finds")
+    (T.Metrics.counter_value "decode.bytes");
+  Printf.eprintf "gc time      : %.0f us (stack walk %.0f us, un/re-derive %.0f us)\n"
+    (hist_sum "gc.pause_ns" /. 1e3)
+    (hist_sum "gc.stackwalk_ns" /. 1e3)
+    ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
+
+let run file optimize checks no_gc_restrict heap stack collector gc_stats trace metrics
+    fuel =
   let options =
     {
       Driver.Compile.default_options with
       optimize;
       checks;
+      gc_restrict = not no_gc_restrict;
       heap_words = heap;
       stack_words = stack;
     }
@@ -30,20 +83,15 @@ let run file optimize checks heap stack collector gc_stats fuel =
     | "none" -> Driver.Compile.No_gc
     | other -> failwith ("unknown collector " ^ other)
   in
+  if gc_stats || metrics || trace <> None then T.Control.enable ();
   try
     let r = Driver.Compile.run_source ~options ~collector ~fuel (read_file file) in
     print_string r.Driver.Compile.output;
-    if gc_stats then begin
-      Printf.eprintf "instructions : %d\n" r.Driver.Compile.instructions;
-      Printf.eprintf "allocations  : %d (%d words)\n" r.Driver.Compile.allocations
-        r.Driver.Compile.alloc_words;
-      Printf.eprintf "collections  : %d\n" r.Driver.Compile.collections;
-      Printf.eprintf "words copied : %d\n" r.Driver.Compile.gc.Vm.Interp.words_copied;
-      Printf.eprintf "frames traced: %d\n" r.Driver.Compile.gc.Vm.Interp.frames_traced;
-      Printf.eprintf "gc time      : %.0f us (stack tracing %.0f us)\n"
-        (Int64.to_float r.Driver.Compile.gc.Vm.Interp.total_gc_ns /. 1e3)
-        (Int64.to_float r.Driver.Compile.gc.Vm.Interp.trace_ns /. 1e3)
-    end;
+    (match trace with
+    | Some path -> T.Trace.write_chrome_file path
+    | None -> ());
+    if gc_stats then print_gc_stats ();
+    if metrics then prerr_string (T.Metrics.to_text ());
     `Ok ()
   with
   | M3l.M3l_error.Lex_error (loc, m) ->
@@ -59,6 +107,11 @@ let run file optimize checks heap stack collector gc_stats fuel =
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let optimize = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the optimizer.")
 let checks = Arg.(value & opt bool true & info [ "checks" ] ~doc:"NIL/bounds checks.")
+let no_gc_restrict =
+  Arg.(
+    value & flag
+    & info [ "no-gc-restrict" ]
+        ~doc:"Run code compiled without gc restrictions (unsafe; warns).")
 let heap =
   Arg.(value & opt int 65536 & info [ "heap" ] ~doc:"Words per semispace.")
 let stack = Arg.(value & opt int 16384 & info [ "stack" ] ~doc:"Stack words.")
@@ -67,7 +120,18 @@ let collector =
     value
     & opt string "precise"
     & info [ "collector" ] ~doc:"precise | conservative | none.")
-let gc_stats = Arg.(value & flag & info [ "gc-stats" ] ~doc:"Report gc statistics.")
+let gc_stats =
+  Arg.(
+    value & flag
+    & info [ "gc-stats" ] ~doc:"Report per-collection and cumulative gc statistics.")
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON file of gc and vm spans.")
+let metrics =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the telemetry metrics summary.")
 let fuel =
   Arg.(value & opt int 1_000_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
 
@@ -76,6 +140,8 @@ let cmd =
   Cmd.v
     (Cmd.info "mmrun" ~doc)
     Term.(
-      ret (const run $ file $ optimize $ checks $ heap $ stack $ collector $ gc_stats $ fuel))
+      ret
+        (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
+       $ gc_stats $ trace $ metrics $ fuel))
 
 let () = exit (Cmd.eval cmd)

@@ -194,6 +194,9 @@ let decode_proc (scheme : Encode.scheme) (opts : Encode.options)
     instruction starts at absolute [code_offset]. Returns the procedure's
     decoded header (frame size, saves, ground) and the gc-point's tables.
     @raise Not_found if [code_offset] is not a gc-point. *)
+let c_finds = Telemetry.Metrics.counter "decode.finds"
+let c_find_bytes = Telemetry.Metrics.counter "decode.bytes"
+
 let find (t : Encode.program_tables) ~fid ~code_offset :
     decoded_proc * Rawmaps.gcpoint =
   let ep = t.Encode.procs.(fid) in
@@ -207,7 +210,12 @@ let find (t : Encode.program_tables) ~fid ~code_offset :
       let gp = decode_next_gcpoint t.Encode.scheme r dp st in
       if gp.Rawmaps.gp_offset = rel then (dp, gp) else scan (i + 1)
   in
-  scan 0
+  let result = scan 0 in
+  (* The paper's decode-work measure: bytes of table stream consumed to
+     reach this gc-point (δ-main re-scans the procedure's stream). *)
+  Telemetry.Metrics.incr c_finds;
+  Telemetry.Metrics.incr ~by:r.pos c_find_bytes;
+  result
 
 (** Locate the procedure containing an absolute code byte offset. *)
 let proc_of_offset (t : Encode.program_tables) ~code_offset : int =

@@ -234,12 +234,18 @@ type program_tables = {
 }
 
 let encode_program scheme opts (pms : Rawmaps.proc_maps array) (code_starts : int array) =
-  {
-    scheme;
-    opts;
-    procs = Array.map (encode_proc scheme opts) pms;
-    code_starts;
-  }
+  let t =
+    Telemetry.Timer.time ~cat:"compile" "encode.tables" (fun () ->
+        {
+          scheme;
+          opts;
+          procs = Array.map (encode_proc scheme opts) pms;
+          code_starts;
+        })
+  in
+  Telemetry.Metrics.add "encode.table_bytes"
+    (Array.fold_left (fun acc ep -> acc + Bytes.length ep.ep_stream) 0 t.procs);
+  t
 
 let total_table_bytes t =
   Array.fold_left (fun acc ep -> acc + Bytes.length ep.ep_stream) 0 t.procs

@@ -27,15 +27,27 @@ let default_options =
   }
 
 let to_mir ?(options = default_options) (source : string) : Mir.Ir.program =
-  let tast = M3l.Typecheck.check_source source in
-  let prog = Mir.Lower.program ~checks:options.checks tast in
+  let module T = Telemetry in
+  let tast =
+    T.Timer.time ~cat:"compile" "frontend.typecheck" (fun () ->
+        M3l.Typecheck.check_source source)
+  in
+  let prog =
+    T.Timer.time ~cat:"compile" "mir.lower" (fun () ->
+        Mir.Lower.program ~checks:options.checks tast)
+  in
   if options.optimize then Opt.Pipeline.optimize prog;
-  if options.loop_gcpoints then ignore (Opt.Loop_gcpoints.run prog);
+  if options.loop_gcpoints then
+    ignore (T.Timer.time ~cat:"compile" "opt.loop_gcpoints" (fun () ->
+        Opt.Loop_gcpoints.run prog));
   prog
 
 let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image.t =
+  let module T = Telemetry in
   let noalloc =
-    if options.noalloc_analysis then Opt.Noalloc.analyze prog else fun _ -> false
+    if options.noalloc_analysis then
+      T.Timer.time ~cat:"compile" "opt.noalloc" (fun () -> Opt.Noalloc.analyze prog)
+    else fun _ -> false
   in
   let build_opts =
     {
@@ -46,7 +58,7 @@ let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image
       table_opts = options.table_opts;
     }
   in
-  Vm.Image.build ~opts:build_opts prog
+  T.Timer.time ~cat:"compile" "codegen.image" (fun () -> Vm.Image.build ~opts:build_opts prog)
 
 let compile ?(options = default_options) (source : string) : Vm.Image.t =
   image_of_mir ~options (to_mir ~options source)
@@ -63,6 +75,14 @@ type run_result = {
 }
 
 let run ?(collector = Precise) ?(fuel = 200_000_000) (image : Vm.Image.t) : run_result =
+  (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
+     live pointers in forms the tables cannot describe; collecting while it
+     runs can corrupt the heap. Warn whenever such output is executed under
+     a collector. *)
+  if (not image.Vm.Image.gc_safe) && collector <> No_gc then
+    Telemetry.Log.warn_once
+      "executing --no-gc-restrict output with a collector installed: code is \
+       not gc-safe by construction; a collection may corrupt the heap";
   let st = Vm.Interp.create image in
   (match collector with
   | Precise -> Gc.Cheney.install st

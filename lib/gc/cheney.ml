@@ -5,11 +5,33 @@
     forwarded; derived values are un-derived before the copy and re-derived
     after (paper §3). Derived values are never {e followed}: the dead-base
     rule guarantees any object reachable through a derived value is also
-    reachable through one of its bases. *)
+    reachable through one of its bases.
+
+    Each collection is reported to the telemetry layer as a [gc.collect]
+    span with four nested phase spans — [gc.stackwalk], [gc.underive],
+    [gc.copy] (with a further [gc.forward_roots] sub-span) and
+    [gc.rederive] — plus per-collection histogram observations, so
+    [mmrun --trace]/[--gc-stats] and the bench harness all read one source
+    of numbers. With telemetry disabled only the legacy [gc_stats] fields
+    are touched, exactly as before. *)
 
 module RM = Gcmaps.Rawmaps
+module T = Telemetry
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* Telemetry handles (stable across Metrics.reset). *)
+let c_collections = T.Metrics.counter "gc.collections"
+let c_objects = T.Metrics.counter "gc.objects_forwarded"
+let h_pause = T.Metrics.histogram "gc.pause_ns"
+let h_stackwalk = T.Metrics.histogram "gc.stackwalk_ns"
+let h_underive = T.Metrics.histogram "gc.underive_ns"
+let h_copy = T.Metrics.histogram "gc.copy_ns"
+let h_rederive = T.Metrics.histogram "gc.rederive_ns"
+let h_roots = T.Metrics.histogram "gc.forward_roots_ns"
+let h_words = T.Metrics.histogram "gc.words_copied"
+let h_objects = T.Metrics.histogram "gc.objects_copied"
+let h_frames = T.Metrics.histogram "gc.frames"
 
 type copier = {
   st : Vm.Interp.t;
@@ -48,6 +70,7 @@ let forward c v =
       c.st.Vm.Interp.mem.(v) <- dst (* forwarding pointer *);
       c.st.Vm.Interp.gc.Vm.Interp.objects_copied <-
         c.st.Vm.Interp.gc.Vm.Interp.objects_copied + 1;
+      T.Metrics.incr c_objects;
       dst
     end
   end
@@ -86,45 +109,75 @@ let collect (st : Vm.Interp.t) ~needed =
   let t_start = now_ns () in
   let gcs = st.Vm.Interp.gc in
   gcs.Vm.Interp.collections <- gcs.Vm.Interp.collections + 1;
-  (* --- stack tracing: locate tables, walk frames, adjust derived. --- *)
+  T.Metrics.incr c_collections;
+  let objects0 = gcs.Vm.Interp.objects_copied in
+  T.Trace.begin_span ~cat:"gc"
+    ~args:[ ("collection", T.Json.Int gcs.Vm.Interp.collections) ]
+    "gc.collect";
+  (* --- stack tracing: locate tables, walk frames. --- *)
+  T.Trace.begin_span ~cat:"gc" "gc.stackwalk";
   let t_trace0 = now_ns () in
   let frames = Stackwalk.walk st in
   gcs.Vm.Interp.frames_traced <- gcs.Vm.Interp.frames_traced + List.length frames;
+  let t_walk1 = now_ns () in
+  T.Trace.end_span ~args:[ ("frames", T.Json.Int (List.length frames)) ] ();
+  (* --- un-derive: recover E for every live derived value. --- *)
+  T.Trace.begin_span ~cat:"gc" "gc.underive";
   let adjusted = Derived_update.adjust_all st frames in
   let t_trace1 = now_ns () in
+  T.Trace.end_span ();
   (* --- copy phase --- *)
+  T.Trace.begin_span ~cat:"gc" "gc.copy";
   let c = { st; to_lo = st.Vm.Interp.to_base; to_alloc = st.Vm.Interp.to_base } in
   (* Global roots. *)
   List.iter
     (fun a -> st.Vm.Interp.mem.(a) <- forward c st.Vm.Interp.mem.(a))
     st.Vm.Interp.image.Vm.Image.global_roots;
   (* Stack and register roots (trace time, per the paper's accounting). *)
+  T.Trace.begin_span ~cat:"gc" "gc.forward_roots";
   let t_roots0 = now_ns () in
   List.iter (forward_frame_roots c) frames;
   let t_roots1 = now_ns () in
+  T.Trace.end_span ();
   (* Cheney scan. *)
   let scan = ref c.to_lo in
   while !scan < c.to_alloc do
     scan := scan_object c !scan
   done;
+  let t_copy1 = now_ns () in
+  T.Trace.end_span ();
   (* --- re-derive and flip --- *)
+  T.Trace.begin_span ~cat:"gc" "gc.rederive";
   let t_red0 = now_ns () in
   Derived_update.rederive_all st adjusted;
   let t_red1 = now_ns () in
+  T.Trace.end_span ();
   let old_from = st.Vm.Interp.from_base in
   st.Vm.Interp.from_base <- st.Vm.Interp.to_base;
   st.Vm.Interp.to_base <- old_from;
   st.Vm.Interp.alloc <- c.to_alloc;
-  gcs.Vm.Interp.words_copied <-
-    gcs.Vm.Interp.words_copied + (c.to_alloc - st.Vm.Interp.from_base);
+  let words = c.to_alloc - st.Vm.Interp.from_base in
+  gcs.Vm.Interp.words_copied <- gcs.Vm.Interp.words_copied + words;
   let t_end = now_ns () in
+  T.Trace.end_span ~args:[ ("words_copied", T.Json.Int words) ] ();
   let open Int64 in
   gcs.Vm.Interp.total_gc_ns <- add gcs.Vm.Interp.total_gc_ns (sub t_end t_start);
   gcs.Vm.Interp.trace_ns <-
     add gcs.Vm.Interp.trace_ns
       (add
          (add (sub t_trace1 t_trace0) (sub t_roots1 t_roots0))
-         (sub t_red1 t_red0))
+         (sub t_red1 t_red0));
+  if T.Control.on () then begin
+    T.Metrics.observe_ns h_pause (sub t_end t_start);
+    T.Metrics.observe_ns h_stackwalk (sub t_walk1 t_trace0);
+    T.Metrics.observe_ns h_underive (sub t_trace1 t_walk1);
+    T.Metrics.observe_ns h_copy (sub t_copy1 t_trace1);
+    T.Metrics.observe_ns h_roots (sub t_roots1 t_roots0);
+    T.Metrics.observe_ns h_rederive (sub t_red1 t_red0);
+    T.Metrics.observe h_words (float_of_int words);
+    T.Metrics.observe h_objects (float_of_int (gcs.Vm.Interp.objects_copied - objects0));
+    T.Metrics.observe h_frames (float_of_int (List.length frames))
+  end
 
 (** A "null collection": locate the tables, walk the stack, adjust and
     immediately re-derive, moving nothing. Used to reproduce the paper's

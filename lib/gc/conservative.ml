@@ -15,6 +15,13 @@
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+module T = Telemetry
+
+let c_collections = T.Metrics.counter "gc.collections"
+let h_pause = T.Metrics.histogram "gc.pause_ns"
+let h_marked = T.Metrics.histogram "gc.marked_objects"
+let h_swept = T.Metrics.histogram "gc.swept_objects"
+
 type t = {
   st : Vm.Interp.t;
   objects : (int, int) Hashtbl.t; (* address -> size in words *)
@@ -54,6 +61,10 @@ let collect_now (c : t) =
   let t0 = now_ns () in
   let gcs = st.Vm.Interp.gc in
   gcs.Vm.Interp.collections <- gcs.Vm.Interp.collections + 1;
+  T.Metrics.incr c_collections;
+  T.Trace.begin_span ~cat:"gc"
+    ~args:[ ("collection", T.Json.Int gcs.Vm.Interp.collections) ]
+    "gc.collect.conservative";
   c.sorted <-
     (let l = Hashtbl.fold (fun a s acc -> (a, s) :: acc) c.objects [] in
      let arr = Array.of_list l in
@@ -108,7 +119,19 @@ let collect_now (c : t) =
   st.Vm.Interp.free_list <- blocks;
   c.marked_last <- Hashtbl.length marked;
   c.swept_last <- List.length !freed;
-  gcs.Vm.Interp.total_gc_ns <- Int64.add gcs.Vm.Interp.total_gc_ns (Int64.sub (now_ns ()) t0)
+  let dt = Int64.sub (now_ns ()) t0 in
+  gcs.Vm.Interp.total_gc_ns <- Int64.add gcs.Vm.Interp.total_gc_ns dt;
+  T.Trace.end_span
+    ~args:
+      [
+        ("marked", T.Json.Int c.marked_last); ("swept", T.Json.Int c.swept_last);
+      ]
+    ();
+  if T.Control.on () then begin
+    T.Metrics.observe_ns h_pause dt;
+    T.Metrics.observe h_marked (float_of_int c.marked_last);
+    T.Metrics.observe h_swept (float_of_int c.swept_last)
+  end
 
 (** Fragmentation summary of the current free list. *)
 let free_list_stats (st : Vm.Interp.t) =

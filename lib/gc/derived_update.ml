@@ -12,6 +12,12 @@
 
 module RM = Gcmaps.Rawmaps
 
+(* Telemetry: entries un-derived and re-derived. The two counters must end
+   up equal after every collection — step 2 replays exactly the entry lists
+   step 1 returned (an invariant the telemetry test suite checks). *)
+let c_underived = Telemetry.Metrics.counter "derived.underived"
+let c_rederived = Telemetry.Metrics.counter "derived.rederived"
+
 (* The derivation entries active at a frame's gc-point: the unconditional
    ones plus, for each ambiguous derivation, the case selected by the path
    variable's current value (paper §4). *)
@@ -45,11 +51,14 @@ let adjust_all st (frames : Stackwalk.frame list) : (Stackwalk.frame * RM.deriv_
     (fun fr ->
       let entries = active_entries st fr in
       List.iter (adjust_entry st fr) entries;
+      Telemetry.Metrics.incr ~by:(List.length entries) c_underived;
       (fr, entries))
     frames
 
 (** Step 2: reverse frame order, reverse entry order within each frame. *)
 let rederive_all st (adjusted : (Stackwalk.frame * RM.deriv_entry list) list) =
   List.iter
-    (fun (fr, entries) -> List.iter (rederive_entry st fr) (List.rev entries))
+    (fun (fr, entries) ->
+      List.iter (rederive_entry st fr) (List.rev entries);
+      Telemetry.Metrics.incr ~by:(List.length entries) c_rederived)
     (List.rev adjusted)

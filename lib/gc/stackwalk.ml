@@ -17,6 +17,8 @@
 module L = Gcmaps.Loc
 module RM = Gcmaps.Rawmaps
 
+let c_frames = Telemetry.Metrics.counter "gc.frames_traced"
+
 type reg_location = In_regs | In_mem of int
 
 type frame = {
@@ -83,5 +85,9 @@ let walk (st : Vm.Interp.t) : frame list =
   (* The machine is inside a runtime call: pc is the Call instruction, FP is
      the calling frame's, and the runtime arguments sit at SP (no return
      address is pushed for runtime calls). *)
-  go ~gp_code_index:st.Vm.Interp.pc ~fp:(Vm.Interp.fp st) ~ap:(Vm.Interp.sp st)
-    ~reg_loc:(Array.make nregs In_regs) []
+  let frames =
+    go ~gp_code_index:st.Vm.Interp.pc ~fp:(Vm.Interp.fp st) ~ap:(Vm.Interp.sp st)
+      ~reg_loc:(Array.make nregs In_regs) []
+  in
+  Telemetry.Metrics.incr ~by:(List.length frames) c_frames;
+  frames

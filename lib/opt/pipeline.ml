@@ -31,22 +31,28 @@ let all_on =
   }
 
 let optimize ?(opts = all_on) (prog : Mir.Ir.program) : unit =
-  Array.iter
-    (fun f ->
-      let budget = ref 6 in
-      let changed = ref true in
-      while !changed && !budget > 0 do
-        changed := false;
-        let step cond pass = if cond && pass prog f then changed := true in
-        step opts.copyprop Copyprop.run;
-        step opts.constfold Constfold.run;
-        step opts.pathvar Pathvar.run;
-        step opts.cse Cse.run;
-        step opts.virtual_origin Virtual_origin.run;
-        step opts.strength Strength.run;
-        step opts.licm Licm.run;
-        step opts.dce Dce.run;
-        decr budget
-      done;
-      ignore (Cleanup.run prog f))
-    prog.Mir.Ir.funcs
+  Telemetry.Trace.span ~cat:"compile" "opt.pipeline" (fun () ->
+      Array.iter
+        (fun f ->
+          let budget = ref 6 in
+          let changed = ref true in
+          while !changed && !budget > 0 do
+            changed := false;
+            (* Each pass is timed individually so `mmc --timings` breaks the
+               optimizer down per pass across all fixed-point iterations. *)
+            let step cond name pass =
+              if cond && Telemetry.Timer.time ~cat:"opt" name (fun () -> pass prog f)
+              then changed := true
+            in
+            step opts.copyprop "opt.copyprop" Copyprop.run;
+            step opts.constfold "opt.constfold" Constfold.run;
+            step opts.pathvar "opt.pathvar" Pathvar.run;
+            step opts.cse "opt.cse" Cse.run;
+            step opts.virtual_origin "opt.virtual_origin" Virtual_origin.run;
+            step opts.strength "opt.strength" Strength.run;
+            step opts.licm "opt.licm" Licm.run;
+            step opts.dce "opt.dce" Dce.run;
+            decr budget
+          done;
+          ignore (Telemetry.Timer.time ~cat:"opt" "opt.cleanup" (fun () -> Cleanup.run prog f)))
+        prog.Mir.Ir.funcs)

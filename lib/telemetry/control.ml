@@ -1,0 +1,28 @@
+(** The telemetry master switch and clock.
+
+    Instrumentation sites throughout the compiler, VM and collectors guard
+    every recording with {!on}; with the switch off (the default) a probe
+    is a single flag test, no allocation, no clock read — "zero dependency
+    when disabled". Enabling is a runtime decision made by the CLI flags
+    ([mmrun --trace/--metrics/--gc-stats], [mmc --timings]) or by tests
+    and benchmarks. *)
+
+let enabled = ref false
+
+let on () = !enabled
+
+let enable () = enabled := true
+let disable () = enabled := false
+
+(** Run [f] with telemetry enabled, restoring the previous state. *)
+let with_enabled f =
+  let prev = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := prev) f
+
+(** Wall-clock in nanoseconds (the repo's collectors already time with
+    [Unix.gettimeofday]; telemetry uses the same clock so the numbers are
+    directly comparable). *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let ns_to_us ns = Int64.to_float ns /. 1e3

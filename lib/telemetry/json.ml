@@ -1,0 +1,241 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry layer must not pull in external dependencies (the repo
+    vendors no JSON library), yet the Chrome-trace exporter needs to emit
+    well-formed JSON and the smoke tooling needs to re-parse what it
+    emitted. This module is just enough JSON for both: the full value
+    grammar, UTF-8 passed through opaquely, strings escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats must stay valid JSON: no "nan"/"inf" tokens, and always carry
+   a decimal point or exponent so they round-trip as numbers. *)
+let float_to_string f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else if f > 0.0 then "1e308"
+  else "-1e308"
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | Str s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail_at p msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" p.pos msg))
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | _ -> fail_at p (Printf.sprintf "expected %c" c)
+
+let parse_literal p lit value =
+  if
+    p.pos + String.length lit <= String.length p.src
+    && String.sub p.src p.pos (String.length lit) = lit
+  then begin
+    p.pos <- p.pos + String.length lit;
+    value
+  end
+  else fail_at p ("expected " ^ lit)
+
+let parse_string_body p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail_at p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some '"' -> advance p; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance p; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance p; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance p; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance p; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance p; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance p; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then fail_at p "truncated \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail_at p ("bad \\u escape " ^ hex)
+            in
+            p.pos <- p.pos + 4;
+            (* Encode the code point as UTF-8 (surrogates passed through
+               as replacement chars; the emitter never produces them). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail_at p "bad escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail_at p ("bad number " ^ s))
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail_at p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' -> Str (parse_string_body p)
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin advance p; List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' -> advance p; items (v :: acc)
+          | Some ']' -> advance p; List.rev (v :: acc)
+          | _ -> fail_at p "expected , or ] in array"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin advance p; Obj [] end
+      else begin
+        let member () =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          (k, v)
+        in
+        let rec members acc =
+          let kv = member () in
+          skip_ws p;
+          match peek p with
+          | Some ',' -> advance p; members (kv :: acc)
+          | Some '}' -> advance p; List.rev (kv :: acc)
+          | _ -> fail_at p "expected , or } in object"
+        in
+        Obj (members [])
+      end
+  | Some c -> (
+      match c with
+      | '0' .. '9' | '-' -> parse_number p
+      | _ -> fail_at p (Printf.sprintf "unexpected character %c" c))
+
+(** Parse a complete JSON document. @raise Parse_error on malformed input
+    or trailing garbage. *)
+let parse s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail_at p "trailing garbage after document";
+  v
+
+(* Accessors used by the validators. *)
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_list = function List xs -> Some xs | _ -> None
+let to_str = function Str s -> Some s | _ -> None

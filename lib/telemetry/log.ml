@@ -1,0 +1,54 @@
+(** The telemetry layer's logger.
+
+    Warnings and errors go to stderr regardless of the telemetry switch —
+    a user running gc-unsafe code should hear about it even with tracing
+    off — but every emitted record is also mirrored into the trace buffer
+    as an instant event (when tracing is on) and counted in [log.<level>]
+    metrics, so exports carry the diagnostics alongside the spans.
+    [Debug]/[Info] print only when {!verbosity} admits them. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(** Minimum level that reaches stderr. *)
+let verbosity = ref Warn
+
+(* Test hook: capture records instead of (as well as) printing. *)
+let sink : (level -> string -> unit) option ref = ref None
+
+(* Deduplicate repeated warnings (e.g. one per collection). *)
+let seen : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let reset_once () = Hashtbl.reset seen
+
+let emit level msg =
+  (match !sink with Some f -> f level msg | None -> ());
+  if Control.on () then begin
+    Metrics.add ("log." ^ level_name level) 1;
+    Trace.instant ~cat:"log" ~args:[ ("message", Json.Str msg) ] (level_name level)
+  end;
+  if level_rank level >= level_rank !verbosity then
+    Printf.eprintf "[%s] %s\n%!" (level_name level) msg
+
+let debug fmt = Printf.ksprintf (emit Debug) fmt
+let info fmt = Printf.ksprintf (emit Info) fmt
+let warn fmt = Printf.ksprintf (emit Warn) fmt
+let error fmt = Printf.ksprintf (emit Error) fmt
+
+(** Like {!warn} but each distinct message prints at most once per
+    process ({!reset_once} clears the memory). *)
+let warn_once fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not (Hashtbl.mem seen msg) then begin
+        Hashtbl.replace seen msg ();
+        emit Warn msg
+      end)
+    fmt

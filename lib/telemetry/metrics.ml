@@ -1,0 +1,182 @@
+(** Named monotonic counters, gauges and histograms.
+
+    The registry is global and handles are stable: a probe site resolves
+    its handle once (e.g. in a module-level [lazy]) and the handle stays
+    valid across {!reset}, which zeroes values but never unregisters.
+    Histograms retain their raw samples (capped) so per-event reporting —
+    e.g. [mmrun --gc-stats]'s per-collection table — can read individual
+    observations back instead of keeping a parallel log. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_samples : float array; (* grows; first h_count entries valid *)
+}
+
+(* Retain at most this many raw samples per histogram; count/sum/min/max
+   keep accumulating past the cap. *)
+let max_samples = 65536
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+(* Registration order is preserved for reporting. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref []
+
+let register name m =
+  Hashtbl.replace registry name m;
+  order := name :: !order
+
+let find name = Hashtbl.find_opt registry name
+
+let counter name : counter =
+  match find name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (name ^ " is registered as a non-counter metric")
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      register name (Counter c);
+      c
+
+let gauge name : gauge =
+  match find name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (name ^ " is registered as a non-gauge metric")
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      register name (Gauge g);
+      g
+
+let histogram name : histogram =
+  match find name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (name ^ " is registered as a non-histogram metric")
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_samples = [||];
+        }
+      in
+      register name (Histogram h);
+      h
+
+(* --- recording (all gated on the master switch) --- *)
+
+let incr ?(by = 1) (c : counter) = if Control.on () then c.c_value <- c.c_value + by
+
+(** Add to a counter looked up by name — for cold paths. *)
+let add name n =
+  if Control.on () then begin
+    let c = counter name in
+    c.c_value <- c.c_value + n
+  end
+
+let set (g : gauge) v = if Control.on () then g.g_value <- v
+
+let observe (h : histogram) v =
+  if Control.on () then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = h.h_count - 1 in
+    if i < max_samples then begin
+      if i >= Array.length h.h_samples then begin
+        let cap = max 16 (min max_samples (2 * Array.length h.h_samples)) in
+        let bigger = Array.make cap 0.0 in
+        Array.blit h.h_samples 0 bigger 0 (Array.length h.h_samples);
+        h.h_samples <- bigger
+      end;
+      h.h_samples.(i) <- v
+    end
+  end
+
+let observe_ns (h : histogram) ns = observe h (Int64.to_float ns)
+
+(* --- reading --- *)
+
+let value (c : counter) = c.c_value
+
+(** Counter value by name; 0 if never registered. *)
+let counter_value name =
+  match find name with Some (Counter c) -> c.c_value | _ -> 0
+
+let gauge_value name = match find name with Some (Gauge g) -> g.g_value | _ -> 0.0
+
+let samples (h : histogram) : float array =
+  Array.sub h.h_samples 0 (min h.h_count max_samples)
+
+let mean (h : histogram) = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* --- lifecycle --- *)
+
+(** Zero every metric; handles remain valid. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+    registry
+
+(** All metrics in registration order. *)
+let all () : metric list =
+  List.rev_map (fun name -> Hashtbl.find registry name) !order
+
+(* --- reporting --- *)
+
+let summary_lines () : string list =
+  let name_of = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+  in
+  all ()
+  |> List.sort (fun a b -> compare (name_of a) (name_of b))
+  |> List.map (fun m ->
+         match m with
+         | Counter c -> Printf.sprintf "%-28s %d" c.c_name c.c_value
+         | Gauge g -> Printf.sprintf "%-28s %g" g.g_name g.g_value
+         | Histogram h ->
+             if h.h_count = 0 then Printf.sprintf "%-28s (no samples)" h.h_name
+             else
+               Printf.sprintf "%-28s n=%d sum=%.0f min=%.0f mean=%.1f max=%.0f"
+                 h.h_name h.h_count h.h_sum h.h_min (mean h) h.h_max)
+
+let to_text () = String.concat "\n" (summary_lines ()) ^ "\n"
+
+(** Metrics as a JSON object, for embedding in trace exports. *)
+let to_json () : Json.t =
+  Json.Obj
+    (all ()
+    |> List.map (fun m ->
+           match m with
+           | Counter c -> (c.c_name, Json.Int c.c_value)
+           | Gauge g -> (g.g_name, Json.Float g.g_value)
+           | Histogram h ->
+               ( h.h_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.h_count);
+                     ("sum", Json.Float h.h_sum);
+                     ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+                     ("mean", Json.Float (mean h));
+                     ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+                   ] ))
+    |> List.sort compare)

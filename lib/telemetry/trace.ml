@@ -1,0 +1,195 @@
+(** Structured span events: begin/end pairs with nesting, instants, an
+    in-memory ring buffer, and exporters (Chrome [trace_event] JSON and a
+    plain-text per-span summary).
+
+    Invariant maintained by construction: in the recorded stream, every
+    [End] closes the most recent unclosed [Begin] (proper nesting). When
+    the buffer fills, whole spans are dropped — a dropped [Begin] swallows
+    its matching [End] — so the exported stream always balances; the
+    number of dropped events is reported in {!dropped}. *)
+
+type phase = B | E | I (* begin / end / instant *)
+
+type event = {
+  ph : phase;
+  name : string; (* "" for End: the name is the matching Begin's *)
+  cat : string;
+  ts_ns : int64;
+  args : (string * Json.t) list;
+}
+
+(* Fixed-capacity event store. 1<<16 events ≈ a few thousand collections
+   with their phase spans; enough for every workload in bench/. *)
+let capacity = 1 lsl 16
+
+let events : event array =
+  Array.make capacity { ph = I; name = ""; cat = ""; ts_ns = 0L; args = [] }
+
+let count = ref 0
+let dropped = ref 0
+
+(* Names of currently-open spans, innermost first. *)
+let open_stack : (string * string) list ref = ref []
+
+(* When the buffer is full, Begins increment this and are discarded; the
+   matching Ends are discarded while it is positive. *)
+let drop_depth = ref 0
+
+let clear () =
+  count := 0;
+  dropped := 0;
+  open_stack := [];
+  drop_depth := 0
+
+let depth () = List.length !open_stack
+
+let record ev =
+  if !count < capacity then begin
+    events.(!count) <- ev;
+    incr count
+  end
+  else incr dropped
+
+let begin_span ?(args = []) ?(cat = "default") name =
+  if Control.on () then begin
+    if !count >= capacity || !drop_depth > 0 then begin
+      incr drop_depth;
+      incr dropped
+    end
+    else begin
+      open_stack := (name, cat) :: !open_stack;
+      record { ph = B; name; cat; ts_ns = Control.now_ns (); args }
+    end
+  end
+
+let end_span ?(args = []) () =
+  if Control.on () then begin
+    if !drop_depth > 0 then begin
+      decr drop_depth;
+      incr dropped
+    end
+    else
+      match !open_stack with
+      | [] -> () (* unmatched end: ignore rather than corrupt the stream *)
+      | (name, cat) :: rest ->
+          open_stack := rest;
+          record { ph = E; name; cat; ts_ns = Control.now_ns (); args }
+  end
+
+let instant ?(args = []) ?(cat = "default") name =
+  if Control.on () then record { ph = I; name; cat; ts_ns = Control.now_ns (); args }
+
+(** [span name f] wraps [f] in a begin/end pair (ends on exception too). *)
+let span ?args ?cat name f =
+  if Control.on () then begin
+    begin_span ?args ?cat name;
+    Fun.protect ~finally:(fun () -> end_span ()) f
+  end
+  else f ()
+
+let recorded () : event list = Array.to_list (Array.sub events 0 !count)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome's JSON format wants microsecond timestamps; B/E events pair up
+   per (pid, tid), and we record a single logical thread. End events carry
+   the name of the Begin they close (recorded from the open-span stack). *)
+let chrome_event ev : Json.t =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ( "ph",
+        Json.Str (match ev.ph with B -> "B" | E -> "E" | I -> "i") );
+      ("ts", Json.Float (Control.ns_to_us ev.ts_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let base = if ev.ph = I then base @ [ ("s", Json.Str "t") ] else base in
+  if ev.args = [] then Json.Obj base
+  else Json.Obj (base @ [ ("args", Json.Obj ev.args) ])
+
+let to_chrome_json ?(metrics = true) () : Json.t =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str "gcmaps") ]);
+      ]
+  in
+  let evs = List.map chrome_event (recorded ()) in
+  (* Close any spans still open at export time so B/E counts balance. *)
+  let closers =
+    List.map
+      (fun (name, cat) ->
+        chrome_event { ph = E; name; cat; ts_ns = Control.now_ns (); args = [] })
+      !open_stack
+  in
+  let fields =
+    [
+      ("traceEvents", Json.List ((meta :: evs) @ closers));
+      ("displayTimeUnit", Json.Str "ms");
+      ("droppedEvents", Json.Int !dropped);
+    ]
+  in
+  let fields =
+    if metrics then fields @ [ ("metrics", Metrics.to_json ()) ] else fields
+  in
+  Json.Obj fields
+
+let to_chrome_string ?metrics () = Json.to_string (to_chrome_json ?metrics ())
+
+let write_chrome_file ?metrics path =
+  let oc = open_out path in
+  output_string oc (to_chrome_string ?metrics ());
+  output_char oc '\n';
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text summary                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate spans by name: count and total wall time. Unclosed spans are
+    excluded. *)
+let aggregate () : (string * int * int64) list =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      match ev.ph with
+      | B -> stack := (ev.name, ev.ts_ns) :: !stack
+      | E -> (
+          match !stack with
+          | (name, t0) :: rest ->
+              stack := rest;
+              let dt = Int64.sub ev.ts_ns t0 in
+              (match Hashtbl.find_opt tbl name with
+              | Some (n, total) -> Hashtbl.replace tbl name (n + 1, Int64.add total dt)
+              | None ->
+                  order := name :: !order;
+                  Hashtbl.replace tbl name (1, dt))
+          | [] -> ())
+      | I -> ())
+    (recorded ());
+  List.rev_map
+    (fun name ->
+      let n, total = Hashtbl.find tbl name in
+      (name, n, total))
+    !order
+
+let summary_lines () : string list =
+  List.map
+    (fun (name, n, total_ns) ->
+      Printf.sprintf "%-28s %6d span(s) %10.0f us total %10.1f us avg" name n
+        (Control.ns_to_us total_ns)
+        (Control.ns_to_us total_ns /. float_of_int (max 1 n)))
+    (aggregate ())
+
+let to_text () = String.concat "\n" (summary_lines ()) ^ "\n"

@@ -45,6 +45,9 @@ type t = {
   rawmaps : RM.proc_maps array; (* unencoded, for stats and tests *)
   folds_applied : int;
   folds_suppressed : int;
+  gc_safe : bool; (* false when built with --no-gc-restrict (§6.2): the
+                     tables may miss live pointers, so running a moving
+                     collector over this image is unsound *)
 }
 
 type build_options = {
@@ -104,13 +107,14 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     prog.Mir.Ir.texts;
   (* 3. Select code for every function. *)
   let outs =
-    Array.map
-      (fun f ->
-        Codegen.Select.func ~prog opts.select
-          ~global_addr:(fun g -> global_addrs.(g))
-          ~text_addr:(fun x -> text_addrs.(x))
-          f)
-      prog.Mir.Ir.funcs
+    Telemetry.Timer.time ~cat:"compile" "codegen.select" (fun () ->
+        Array.map
+          (fun f ->
+            Codegen.Select.func ~prog opts.select
+              ~global_addr:(fun g -> global_addrs.(g))
+              ~text_addr:(fun x -> text_addrs.(x))
+              f)
+          prog.Mir.Ir.funcs)
   in
   (* 4. Concatenate code, adjusting branch targets. *)
   let total_insns = Array.fold_left (fun acc o -> acc + Array.length o.Codegen.Select.of_code) 0 outs in
@@ -214,6 +218,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_folds_applied) 0 outs;
     folds_suppressed =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_folds_suppressed) 0 outs;
+    gc_safe = opts.select.Codegen.Select.gc_restrict;
   }
 
 (** fid of the procedure containing a code index. *)

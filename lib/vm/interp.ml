@@ -12,6 +12,13 @@
 
 module I = Machine.Insn
 
+(* Telemetry counters. Allocations are counted at the allocation site; the
+   instruction count is synced once per [run] (a per-step probe would tax
+   the hot loop even when disabled). *)
+let c_allocs = Telemetry.Metrics.counter "vm.allocations"
+let c_alloc_words = Telemetry.Metrics.counter "vm.alloc_words"
+let c_instructions = Telemetry.Metrics.counter "vm.instructions"
+
 type gc_stats = {
   mutable collections : int;
   mutable words_copied : int;
@@ -190,6 +197,8 @@ let rt_alloc t tdid ~length =
   | Rt.Typedesc.Fixed _ -> ());
   t.alloc_count <- t.alloc_count + 1;
   t.alloc_words <- t.alloc_words + size;
+  Telemetry.Metrics.incr c_allocs;
+  Telemetry.Metrics.incr ~by:size c_alloc_words;
   (match t.on_alloc with Some f -> f a size | None -> ());
   a
 
@@ -303,11 +312,20 @@ let step t =
 
 let run ?(fuel = max_int) t =
   reset t;
+  let icount0 = t.icount in
+  Telemetry.Trace.begin_span ~cat:"vm" "vm.run";
   let budget = ref fuel in
-  while (not t.halted) && !budget > 0 do
-    step t;
-    decr budget
-  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Metrics.incr ~by:(t.icount - icount0) c_instructions;
+      Telemetry.Trace.end_span
+        ~args:[ ("instructions", Telemetry.Json.Int (t.icount - icount0)) ]
+        ())
+    (fun () ->
+      while (not t.halted) && !budget > 0 do
+        step t;
+        decr budget
+      done);
   if not t.halted then Vm_error.fail "out of fuel after %d instructions" fuel
 
 let output t = Buffer.contents t.out

@@ -1,0 +1,292 @@
+(* Telemetry layer tests: metric arithmetic, span nesting invariants,
+   Chrome-trace JSON well-formedness, and a driver-level end-to-end check
+   that a collecting run reports all four pause phases with balanced
+   derived-value work. *)
+
+module T = Telemetry
+
+let check = Alcotest.check
+
+(* Every test starts from a clean, enabled telemetry state and leaves the
+   layer disabled (the other suites in this binary assume it off). *)
+let fresh f () =
+  T.Metrics.reset ();
+  T.Trace.clear ();
+  T.Timer.clear ();
+  T.Log.reset_once ();
+  T.Control.enable ();
+  Fun.protect ~finally:T.Control.disable f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let c = T.Metrics.counter "test.counter" in
+  T.Metrics.incr c;
+  T.Metrics.incr ~by:41 c;
+  check Alcotest.int "counter accumulates" 42 (T.Metrics.value c);
+  check Alcotest.int "lookup by name" 42 (T.Metrics.counter_value "test.counter");
+  (* The same name returns the same handle. *)
+  T.Metrics.incr (T.Metrics.counter "test.counter");
+  check Alcotest.int "single registry entry" 43 (T.Metrics.value c);
+  (* Disabled increments are dropped. *)
+  T.Control.disable ();
+  T.Metrics.incr ~by:100 c;
+  T.Control.enable ();
+  check Alcotest.int "disabled incr is a no-op" 43 (T.Metrics.value c);
+  (* Reset zeroes but keeps the handle valid. *)
+  T.Metrics.reset ();
+  check Alcotest.int "reset zeroes" 0 (T.Metrics.value c);
+  T.Metrics.incr c;
+  check Alcotest.int "handle survives reset" 1 (T.Metrics.value c)
+
+let test_gauges () =
+  let g = T.Metrics.gauge "test.gauge" in
+  T.Metrics.set g 2.5;
+  check (Alcotest.float 1e-9) "gauge set" 2.5 (T.Metrics.gauge_value "test.gauge");
+  T.Metrics.set g 1.0;
+  check (Alcotest.float 1e-9) "gauge overwrites" 1.0 (T.Metrics.gauge_value "test.gauge")
+
+let test_histograms () =
+  let h = T.Metrics.histogram "test.hist" in
+  List.iter (fun v -> T.Metrics.observe h v) [ 4.0; 1.0; 7.0; 2.0 ];
+  check Alcotest.int "count" 4 h.T.Metrics.h_count;
+  check (Alcotest.float 1e-9) "sum" 14.0 h.T.Metrics.h_sum;
+  check (Alcotest.float 1e-9) "min" 1.0 h.T.Metrics.h_min;
+  check (Alcotest.float 1e-9) "max" 7.0 h.T.Metrics.h_max;
+  check (Alcotest.float 1e-9) "mean" 3.5 (T.Metrics.mean h);
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "samples retained in order" [ 4.0; 1.0; 7.0; 2.0 ]
+    (Array.to_list (T.Metrics.samples h));
+  T.Metrics.reset ();
+  check Alcotest.int "reset clears samples" 0 (Array.length (T.Metrics.samples h))
+
+(* ------------------------------------------------------------------ *)
+(* Trace: nesting invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold over the recorded stream checking that every End closes the most
+   recent open Begin; returns the maximum depth seen. *)
+let check_balance events =
+  let max_depth = ref 0 in
+  let final =
+    List.fold_left
+      (fun stack (ev : T.Trace.event) ->
+        match ev.T.Trace.ph with
+        | T.Trace.B ->
+            let stack = ev.T.Trace.name :: stack in
+            max_depth := max !max_depth (List.length stack);
+            stack
+        | T.Trace.E -> (
+            match stack with
+            | top :: rest ->
+                check Alcotest.string "end closes innermost begin" top ev.T.Trace.name;
+                rest
+            | [] -> Alcotest.fail "end event with no open span")
+        | T.Trace.I -> stack)
+      [] events
+  in
+  check Alcotest.int "all spans closed" 0 (List.length final);
+  !max_depth
+
+let test_span_nesting () =
+  T.Trace.span "outer" (fun () ->
+      T.Trace.span "inner1" (fun () -> ());
+      T.Trace.span "inner2" (fun () -> T.Trace.instant "tick"));
+  let max_depth = check_balance (T.Trace.recorded ()) in
+  check Alcotest.int "nesting depth" 2 max_depth;
+  check Alcotest.int "nothing left open" 0 (T.Trace.depth ());
+  (* 3 begins + 3 ends + 1 instant *)
+  check Alcotest.int "event count" 7 (List.length (T.Trace.recorded ()))
+
+let test_span_exception_safety () =
+  (try T.Trace.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check Alcotest.int "span closed on exception" 0 (T.Trace.depth ());
+  ignore (check_balance (T.Trace.recorded ()))
+
+let test_unmatched_end_ignored () =
+  T.Trace.end_span ();
+  check Alcotest.int "stray end recorded nothing" 0 (List.length (T.Trace.recorded ()));
+  T.Trace.begin_span "a";
+  T.Trace.end_span ();
+  T.Trace.end_span ();
+  ignore (check_balance (T.Trace.recorded ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let get_exn = function Some v -> v | None -> Alcotest.fail "missing JSON member"
+
+let test_chrome_json_well_formed () =
+  T.Trace.span ~cat:"t" "outer" (fun () ->
+      T.Trace.span ~cat:"t" "inner \"quoted\"\n" (fun () -> ()));
+  T.Trace.begin_span "left-open";
+  let s = T.Trace.to_chrome_string () in
+  T.Trace.end_span ();
+  let j = T.Json.parse s in
+  let events = get_exn (T.Json.to_list (get_exn (T.Json.member "traceEvents" j))) in
+  (* B and E counts balance even though a span was open at export time. *)
+  let count ph =
+    List.length
+      (List.filter
+         (fun e -> T.Json.member "ph" e = Some (T.Json.Str ph))
+         events)
+  in
+  check Alcotest.int "B/E balanced" (count "B") (count "E");
+  check Alcotest.bool "has metadata event" true (count "M" >= 1);
+  (* Timestamps are non-decreasing within the stream. *)
+  let ts =
+    List.filter_map
+      (fun e ->
+        match T.Json.member "ts" e with
+        | Some (T.Json.Float f) -> Some f
+        | Some (T.Json.Int i) -> Some (float_of_int i)
+        | _ -> None)
+      events
+  in
+  check Alcotest.bool "timestamps monotonic" true
+    (fst
+       (List.fold_left (fun (ok, prev) t -> (ok && t >= prev, t)) (true, neg_infinity) ts))
+
+let test_json_roundtrip () =
+  let v =
+    T.Json.Obj
+      [
+        ("s", T.Json.Str "a\"b\\c\nd\te\r\x01");
+        ("i", T.Json.Int (-42));
+        ("f", T.Json.Float 1.5);
+        ("l", T.Json.List [ T.Json.Null; T.Json.Bool true; T.Json.Bool false ]);
+        ("o", T.Json.Obj [ ("nested", T.Json.Int 1) ]);
+        ("e", T.Json.List []);
+        ("eo", T.Json.Obj []);
+      ]
+  in
+  check Alcotest.bool "roundtrip" true (T.Json.parse (T.Json.to_string v) = v);
+  List.iter
+    (fun bad ->
+      match T.Json.parse bad with
+      | exception T.Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed input " ^ bad))
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Timer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer () =
+  ignore (T.Timer.time "t.pass" (fun () -> 1 + 1));
+  ignore (T.Timer.time "t.pass" (fun () -> ()));
+  ignore (T.Timer.time "t.other" (fun () -> ()));
+  (match T.Timer.entries () with
+  | [ ("t.pass", 2, _); ("t.other", 1, _) ] -> ()
+  | e ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected timer entries (%d)" (List.length e)));
+  check Alcotest.bool "timer spans recorded in trace" true
+    (List.exists
+       (fun (ev : T.Trace.event) -> ev.T.Trace.name = "t.pass")
+       (T.Trace.recorded ()))
+
+(* ------------------------------------------------------------------ *)
+(* Driver-level: a collecting run reports all four pause phases         *)
+(* ------------------------------------------------------------------ *)
+
+let test_end_to_end_gc_phases () =
+  (* Optimized ambig under heap pressure: collections with live derived
+     values, so every phase of the pause does real work. *)
+  let options =
+    { Driver.Compile.default_options with optimize = true; heap_words = 300 }
+  in
+  let r = Driver.Compile.run_source ~options Programs.Ambig_src.src in
+  check Alcotest.bool "at least one collection" true (r.Driver.Compile.collections >= 1);
+  let n = T.Metrics.counter_value "gc.collections" in
+  check Alcotest.int "metrics agree with run result" r.Driver.Compile.collections n;
+  List.iter
+    (fun phase ->
+      let h = T.Metrics.histogram phase in
+      check Alcotest.int
+        (phase ^ " observed once per collection")
+        n h.T.Metrics.h_count)
+    [ "gc.pause_ns"; "gc.stackwalk_ns"; "gc.underive_ns"; "gc.copy_ns"; "gc.rederive_ns" ];
+  let under = T.Metrics.counter_value "derived.underived" in
+  let reder = T.Metrics.counter_value "derived.rederived" in
+  check Alcotest.bool "derived values were live at some gc" true (under > 0);
+  check Alcotest.int "un-derive count equals re-derive count" under reder;
+  (* The trace contains the four phases properly nested inside gc.collect. *)
+  ignore (check_balance (T.Trace.recorded ()));
+  let begins =
+    List.filter_map
+      (fun (ev : T.Trace.event) ->
+        if ev.T.Trace.ph = T.Trace.B then Some ev.T.Trace.name else None)
+      (T.Trace.recorded ())
+  in
+  List.iter
+    (fun phase ->
+      check Alcotest.bool ("trace has " ^ phase) true (List.mem phase begins))
+    [ "gc.collect"; "gc.stackwalk"; "gc.underive"; "gc.copy"; "gc.rederive" ];
+  (* And the export of that real trace parses back. *)
+  let j = T.Json.parse (T.Trace.to_chrome_string ()) in
+  check Alcotest.bool "export parses" true (T.Json.member "traceEvents" j <> None)
+
+let test_gc_unsafe_warning () =
+  let captured = ref [] in
+  T.Log.sink := Some (fun level msg -> captured := (level, msg) :: !captured);
+  let saved = !T.Log.verbosity in
+  T.Log.verbosity := T.Log.Error (* keep stderr quiet during the test *);
+  Fun.protect
+    ~finally:(fun () ->
+      T.Log.sink := None;
+      T.Log.verbosity := saved)
+    (fun () ->
+      let options =
+        { Driver.Compile.default_options with gc_restrict = false; heap_words = 4096 }
+      in
+      let r = Driver.Compile.run_source ~options Programs.Typereg_src.src in
+      check Alcotest.bool "program still runs" true
+        (String.length r.Driver.Compile.output > 0);
+      check Alcotest.bool "warning emitted for gc-unsafe execution" true
+        (List.exists (fun (l, _) -> l = T.Log.Warn) !captured);
+      (* warn_once: a second run does not warn again. *)
+      let before = List.length !captured in
+      ignore (Driver.Compile.run_source ~options Programs.Typereg_src.src);
+      check Alcotest.int "warning deduplicated" before (List.length !captured))
+
+let test_disabled_is_inert () =
+  T.Control.disable ();
+  T.Trace.span "nope" (fun () -> ());
+  T.Metrics.add "test.disabled" 5;
+  ignore (T.Timer.time "nope.pass" (fun () -> ()));
+  check Alcotest.int "no events recorded" 0 (List.length (T.Trace.recorded ()));
+  check Alcotest.int "no counter movement" 0 (T.Metrics.counter_value "test.disabled");
+  check Alcotest.bool "no timer entries" true (T.Timer.entries () = []);
+  T.Control.enable ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick (fresh test_counters);
+          Alcotest.test_case "gauges" `Quick (fresh test_gauges);
+          Alcotest.test_case "histograms" `Quick (fresh test_histograms);
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick (fresh test_span_nesting);
+          Alcotest.test_case "exception safety" `Quick (fresh test_span_exception_safety);
+          Alcotest.test_case "unmatched end" `Quick (fresh test_unmatched_end_ignored);
+          Alcotest.test_case "chrome json" `Quick (fresh test_chrome_json_well_formed);
+          Alcotest.test_case "json roundtrip" `Quick (fresh test_json_roundtrip);
+        ] );
+      ( "timer",
+        [ Alcotest.test_case "aggregation" `Quick (fresh test_timer) ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "gc phases" `Quick (fresh test_end_to_end_gc_phases);
+          Alcotest.test_case "gc-unsafe warning" `Quick (fresh test_gc_unsafe_warning);
+          Alcotest.test_case "disabled is inert" `Quick (fresh test_disabled_is_inert);
+        ] );
+    ]

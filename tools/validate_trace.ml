@@ -1,0 +1,61 @@
+(* validate_trace — smoke-check a Chrome trace_event JSON file emitted by
+   `mmrun --trace`: the document must parse, carry a traceEvents array with
+   balanced B/E spans, and (when phases are requested) contain every named
+   span at least once.
+
+     validate_trace t.json
+     validate_trace t.json gc.stackwalk gc.underive gc.copy gc.rederive
+
+   Exit 0 on success; prints the failure and exits 1 otherwise. Used by
+   `make check` / CI. *)
+
+module J = Telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_trace: " ^ m); exit 1) fmt
+
+let () =
+  let path, required =
+    match Array.to_list Sys.argv with
+    | _ :: path :: rest -> (path, rest)
+    | _ ->
+        prerr_endline "usage: validate_trace FILE.json [required-span-name...]";
+        exit 2
+  in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error m -> fail "%s" m
+  in
+  let doc = try J.parse contents with J.Parse_error m -> fail "%s: %s" path m in
+  let events =
+    match Option.bind (J.member "traceEvents" doc) J.to_list with
+    | Some evs -> evs
+    | None -> fail "%s: no traceEvents array" path
+  in
+  let begins = Hashtbl.create 16 in
+  let depth = ref 0 in
+  List.iter
+    (fun ev ->
+      let str k = Option.bind (J.member k ev) J.to_str in
+      match str "ph" with
+      | Some "B" ->
+          incr depth;
+          (match str "name" with
+          | Some n -> Hashtbl.replace begins n (1 + Option.value ~default:0 (Hashtbl.find_opt begins n))
+          | None -> fail "%s: B event without a name" path)
+      | Some "E" ->
+          decr depth;
+          if !depth < 0 then fail "%s: E event with no open span" path
+      | Some _ -> ()
+      | None -> fail "%s: event without ph" path)
+    events;
+  if !depth <> 0 then fail "%s: %d span(s) left open" path !depth;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem begins name) then fail "%s: required span %s missing" path name)
+    required;
+  Printf.printf "validate_trace: %s ok (%d events, %d distinct spans)\n" path
+    (List.length events) (Hashtbl.length begins)
