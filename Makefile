@@ -7,7 +7,7 @@
 DUNE ?= dune
 TRACE_OUT := _build/smoke.trace.json
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke check bench bench-perf clean
 
 all: build
 
@@ -28,6 +28,10 @@ check: build test smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe
+
+# The gc hot-path before/after (decode cache off vs on); writes BENCH_2.json.
+bench-perf: build
+	$(DUNE) exec bench/main.exe -- perf
 
 clean:
 	$(DUNE) clean

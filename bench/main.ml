@@ -451,8 +451,42 @@ let decode_bench () =
         (dt *. 1e9 /. float_of_int (reps * max 1 n))
         (E.total_table_bytes tables))
     TS.configs;
+  (* Decode work (stream bytes scanned) per full sweep over every gc-point:
+     the uncached column is the paper's re-scan cost and is untouched by
+     the cache; the cached columns show the one-time fill and the
+     steady-state sweeps that follow it. *)
+  printf "\nDecode work per sweep of all gc-points (stream bytes scanned):\n";
+  printf "%-24s %12s %12s %12s\n" "configuration" "uncached" "fill(once)" "steady";
+  List.iter
+    (fun (name, scheme, opts) ->
+      let tables = E.encode_program scheme opts raw code_starts in
+      let points =
+        Array.to_list raw
+        |> List.concat_map (fun (pm : RM.proc_maps) ->
+               List.map
+                 (fun (g : RM.gcpoint) ->
+                   (pm.RM.pm_fid, code_starts.(pm.RM.pm_fid) + g.RM.gp_offset))
+                 pm.RM.pm_gcpoints)
+      in
+      let sweep find =
+        List.iter (fun (fid, code_offset) -> ignore (find ~fid ~code_offset)) points
+      in
+      with_telemetry (fun () ->
+          let bytes () = T.Metrics.counter_value "decode.bytes" in
+          let fill () = T.Metrics.counter_value "decode.cache_bytes" in
+          sweep (Gcmaps.Decode.find tables);
+          let uncached = bytes () in
+          let cache = Gcmaps.Decode_cache.create tables in
+          let b0 = bytes () and f0 = fill () in
+          sweep (Gcmaps.Decode_cache.find cache);
+          let fill_sweep = bytes () - b0 + (fill () - f0) in
+          let b1 = bytes () and f1 = fill () in
+          sweep (Gcmaps.Decode_cache.find cache);
+          let steady = bytes () - b1 + (fill () - f1) in
+          printf "%-24s %12d %12d %12d\n" name uncached fill_sweep steady))
+    TS.configs;
   printf
-    "\nThe paper kept delta-main because its decode overhead, though higher\nthan full-info, is a small part of collection time (sections 6.1, 6.3).\n"
+    "\nThe paper kept delta-main because its decode overhead, though higher\nthan full-info, is a small part of collection time (sections 6.1, 6.3).\nThe decode cache turns the per-collection re-scan into a one-time fill;\n`mmrun --no-decode-cache` restores the paper's behaviour.\n"
 
 (* ------------------------------------------------------------------ *)
 (* A3: precise compacting vs conservative mark-sweep                   *)
@@ -548,6 +582,155 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* PERF: gc hot-path before/after (BENCH_2.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The perf trajectory target: the gc-intensive destroy timing config run
+   twice — decode cache disabled (the paper-faithful per-frame stream
+   re-scan) and enabled — reporting pause-phase histograms and decode work
+   for both, and emitting the comparison as BENCH_2.json.
+
+   Environment knobs (used by the CI smoke step):
+     BENCH_PERF_ITERS  replacement iterations (default 400)
+     BENCH_PERF_OUT    output JSON path (default BENCH_2.json)
+     BENCH_PERF_TRACE  also write a Chrome trace of the cached run here *)
+
+let perf () =
+  hr ();
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_PERF_ITERS" 400 in
+  let out_path = Option.value ~default:"BENCH_2.json" (Sys.getenv_opt "BENCH_PERF_OUT") in
+  let trace_path = Sys.getenv_opt "BENCH_PERF_TRACE" in
+  let heap = 12000 in
+  printf "PERF: gc hot paths on destroy (branch=4 depth=5 replace=2, %d\n" iters;
+  printf "replacements, heap %d words/semispace): decode cache off vs on\n\n" heap;
+  let src = Programs.Destroy_src.make ~branch:4 ~depth:5 ~replace_depth:2 ~iterations:iters in
+  let was_enabled = Gcmaps.Decode_cache.enabled () in
+  let hist_json name =
+    let h = T.Metrics.histogram name in
+    T.Json.Obj
+      [
+        ("count", T.Json.Int h.T.Metrics.h_count);
+        ("sum", T.Json.Float h.T.Metrics.h_sum);
+        ("mean", T.Json.Float (T.Metrics.mean h));
+        ("min", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_min));
+        ("max", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_max));
+      ]
+  in
+  let run_one ~cached =
+    Gcmaps.Decode_cache.set_enabled cached;
+    let snapshot = ref T.Json.Null in
+    let output = ref "" in
+    with_telemetry (fun () ->
+        let img = compile ~optimize:true ~heap src in
+        let st = Vm.Interp.create img in
+        Gc.Cheney.install st;
+        let t0 = Unix.gettimeofday () in
+        Vm.Interp.run st;
+        let wall = Unix.gettimeofday () -. t0 in
+        output := Vm.Interp.output st;
+        let c = T.Metrics.counter_value in
+        let colls = max 1 (c "gc.collections") in
+        snapshot :=
+          T.Json.Obj
+            [
+              ("decode_cache", T.Json.Bool cached);
+              ("wall_s", T.Json.Float wall);
+              ("collections", T.Json.Int (c "gc.collections"));
+              ("frames_traced", T.Json.Int (c "gc.frames_traced"));
+              ("vm_instructions", T.Json.Int (c "vm.instructions"));
+              ("allocations", T.Json.Int (c "vm.allocations"));
+              ( "decode",
+                T.Json.Obj
+                  [
+                    ("finds", T.Json.Int (c "decode.finds"));
+                    ("bytes", T.Json.Int (c "decode.bytes"));
+                    ( "bytes_per_collection",
+                      T.Json.Float (float_of_int (c "decode.bytes") /. float_of_int colls) );
+                    ("cache_hits", T.Json.Int (c "decode.cache_hits"));
+                    ("cache_misses", T.Json.Int (c "decode.cache_misses"));
+                    ("cache_bytes", T.Json.Int (c "decode.cache_bytes"));
+                  ] );
+              ( "phases_ns",
+                T.Json.Obj
+                  [
+                    ("pause", hist_json "gc.pause_ns");
+                    ("stackwalk", hist_json "gc.stackwalk_ns");
+                    ("underive", hist_json "gc.underive_ns");
+                    ("copy", hist_json "gc.copy_ns");
+                    ("forward_roots", hist_json "gc.forward_roots_ns");
+                    ("rederive", hist_json "gc.rederive_ns");
+                  ] );
+            ];
+        match trace_path with
+        | Some path when cached -> T.Trace.write_chrome_file path
+        | _ -> ());
+    (!snapshot, !output)
+  in
+  let uncached, out_u = run_one ~cached:false in
+  let cached, out_c = run_one ~cached:true in
+  Gcmaps.Decode_cache.set_enabled was_enabled;
+  if out_u <> out_c then printf "!! OUTPUT MISMATCH between cached and uncached runs\n";
+  let geti j path =
+    let rec go j = function
+      | [] -> ( match j with T.Json.Int i -> float_of_int i | T.Json.Float f -> f | _ -> 0.0)
+      | k :: rest -> ( match T.Json.member k j with Some v -> go v rest | None -> 0.0)
+    in
+    go j path
+  in
+  let row name path =
+    let u = geti uncached path and c = geti cached path in
+    printf "%-32s %14.0f %14.0f %9s\n" name u c
+      (if c > 0.0 then Printf.sprintf "%8.1fx" (u /. c) else "-")
+  in
+  printf "%-32s %14s %14s %9s\n" "metric" "uncached" "cached" "ratio";
+  row "collections" [ "collections" ];
+  row "decode.finds" [ "decode"; "finds" ];
+  row "decode.bytes (at find time)" [ "decode"; "bytes" ];
+  row "decode.bytes / collection" [ "decode"; "bytes_per_collection" ];
+  row "cache fill bytes (once)" [ "decode"; "cache_bytes" ];
+  row "gc.pause_ns (sum)" [ "phases_ns"; "pause"; "sum" ];
+  row "gc.stackwalk_ns (sum)" [ "phases_ns"; "stackwalk"; "sum" ];
+  row "gc.copy_ns (sum)" [ "phases_ns"; "copy"; "sum" ];
+  row "gc.forward_roots_ns (sum)" [ "phases_ns"; "forward_roots"; "sum" ];
+  let ub = geti uncached [ "decode"; "bytes" ] in
+  let cb = geti cached [ "decode"; "bytes" ] +. geti cached [ "decode"; "cache_bytes" ] in
+  let reduction = if cb > 0.0 then ub /. cb else infinity in
+  printf "\ndecode work reduction (incl. one-time cache fill): %.1fx\n" reduction;
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "gc_hotpath_destroy");
+        ("program", T.Json.Str "destroy");
+        ( "params",
+          T.Json.Obj
+            [
+              ("branch", T.Json.Int 4);
+              ("depth", T.Json.Int 5);
+              ("replace_depth", T.Json.Int 2);
+              ("iterations", T.Json.Int iters);
+              ("heap_words", T.Json.Int heap);
+              ("optimize", T.Json.Bool true);
+            ] );
+        ("uncached", uncached);
+        ("cached", cached);
+        ( "decode_bytes_reduction_incl_fill",
+          T.Json.Float (if Float.is_finite reduction then reduction else 1e12) );
+        ("outputs_match", T.Json.Bool (out_u = out_c));
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s%s\n" out_path
+    (match trace_path with Some p -> Printf.sprintf " and trace %s" p | None -> "")
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -582,6 +765,7 @@ let () =
           | "fig34" -> fig34 ()
           | "loops" -> loops ()
           | "decode" -> decode_bench ()
+          | "perf" -> perf ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

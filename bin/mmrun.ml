@@ -59,13 +59,19 @@ let print_gc_stats () =
   Printf.eprintf "table decode : %d lookups, %d bytes scanned\n"
     (T.Metrics.counter_value "decode.finds")
     (T.Metrics.counter_value "decode.bytes");
+  Printf.eprintf "decode cache : %d hits, %d misses, %d stream bytes cached%s\n"
+    (T.Metrics.counter_value "decode.cache_hits")
+    (T.Metrics.counter_value "decode.cache_misses")
+    (T.Metrics.counter_value "decode.cache_bytes")
+    (if Gcmaps.Decode_cache.enabled () then "" else " (disabled)");
   Printf.eprintf "gc time      : %.0f us (stack walk %.0f us, un/re-derive %.0f us)\n"
     (hist_sum "gc.pause_ns" /. 1e3)
     (hist_sum "gc.stackwalk_ns" /. 1e3)
     ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
 
 let run file optimize checks no_gc_restrict heap stack collector gc_stats trace metrics
-    fuel =
+    no_decode_cache fuel =
+  if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   let options =
     {
       Driver.Compile.default_options with
@@ -132,6 +138,14 @@ let trace =
         ~doc:"Write a Chrome trace_event JSON file of gc and vm spans.")
 let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print the telemetry metrics summary.")
+let no_decode_cache =
+  Arg.(
+    value & flag
+    & info [ "no-decode-cache" ]
+        ~doc:
+          "Disable the memoized pc→table decode cache: every frame lookup \
+           re-scans the procedure's table stream, reproducing the paper's \
+           uncached decode cost (§5.2/§6.3).")
 let fuel =
   Arg.(value & opt int 1_000_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
 
@@ -142,6 +156,6 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gc_stats $ trace $ metrics $ fuel))
+       $ gc_stats $ trace $ metrics $ no_decode_cache $ fuel))
 
 let () = exit (Cmd.eval cmd)

@@ -89,8 +89,10 @@ let get_variants r : Rawmaps.variant list =
 
 let get_reg_list r =
   let mask = get_int r in
+  (* The mask can only name real machine registers, so scanning past
+     [Reg.nregs - 1] (bit 13) is pure waste on a per-gc-point hot path. *)
   let rec go i acc = if i < 0 then acc else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc) in
-  go 62 []
+  go (Machine.Reg.nregs - 1) []
 
 (* ------------------------------------------------------------------ *)
 (* Procedure streams                                                   *)

@@ -54,16 +54,15 @@ let forward c v =
     let header = c.st.Vm.Interp.mem.(v) in
     if in_to c header then header (* already forwarded *)
     else begin
-      let tdescs = c.st.Vm.Interp.image.Vm.Image.tdescs in
-      if header < 0 || header >= Array.length tdescs then
+      let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
+      if header < 0 || header >= Array.length layouts then
         Vm.Vm_error.fail "gc: bad object header %d at %d (untidy root?)" header v;
-      let td = tdescs.(header) in
-      let length =
-        match td with
-        | Rt.Typedesc.Open _ -> c.st.Vm.Interp.mem.(v + 1)
-        | Rt.Typedesc.Fixed _ -> 0
+      let size =
+        match layouts.(header) with
+        | Rt.Typedesc.Lfixed { words; _ } -> words
+        | Rt.Typedesc.Lopen { elt_size; _ } ->
+            Rt.Typedesc.open_header_words + (c.st.Vm.Interp.mem.(v + 1) * elt_size)
       in
-      let size = Rt.Typedesc.object_words td ~length in
       let dst = c.to_alloc in
       Array.blit c.st.Vm.Interp.mem v c.st.Vm.Interp.mem dst size;
       c.to_alloc <- dst + size;
@@ -75,19 +74,33 @@ let forward c v =
     end
   end
 
+(* Scan one to-space object through its precomputed layout: the offset
+   arrays are built once at image-load time, so the loop performs zero
+   list (or any other) allocation per object — where it used to build a
+   fresh offset list for every live object of every collection. *)
 let scan_object c addr =
-  let tdescs = c.st.Vm.Interp.image.Vm.Image.tdescs in
-  let td = tdescs.(c.st.Vm.Interp.mem.(addr)) in
-  let length =
-    match td with
-    | Rt.Typedesc.Open _ -> c.st.Vm.Interp.mem.(addr + 1)
-    | Rt.Typedesc.Fixed _ -> 0
-  in
-  List.iter
-    (fun off ->
-      c.st.Vm.Interp.mem.(addr + off) <- forward c c.st.Vm.Interp.mem.(addr + off))
-    (Rt.Typedesc.object_ptr_offsets td ~length);
-  addr + Rt.Typedesc.object_words td ~length
+  let mem = c.st.Vm.Interp.mem in
+  match c.st.Vm.Interp.image.Vm.Image.layouts.(mem.(addr)) with
+  | Rt.Typedesc.Lfixed { words; offsets } ->
+      for k = 0 to Array.length offsets - 1 do
+        let a = addr + Array.unsafe_get offsets k in
+        mem.(a) <- forward c mem.(a)
+      done;
+      addr + words
+  | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
+      let length = mem.(addr + 1) in
+      let nofs = Array.length elt_offsets in
+      if nofs > 0 then begin
+        let base = ref (addr + Rt.Typedesc.open_header_words) in
+        for _i = 1 to length do
+          for k = 0 to nofs - 1 do
+            let a = !base + Array.unsafe_get elt_offsets k in
+            mem.(a) <- forward c mem.(a)
+          done;
+          base := !base + elt_size
+        done
+      end;
+      addr + Rt.Typedesc.open_header_words + (length * elt_size)
 
 (* Forward the tidy roots of one frame: stack-pointer table entries and
    register-pointer table entries (through the reconstruction map). *)

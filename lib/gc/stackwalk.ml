@@ -39,23 +39,40 @@ let resolve (fr : frame) (l : L.t) : [ `Reg of int | `Mem of int ] =
   | L.Lmem (L.SP, o) -> `Mem (fr.fr_sp + o)
   | L.Lmem (L.AP, o) -> `Mem (fr.fr_ap + o)
 
-let read (st : Vm.Interp.t) fr l =
-  match resolve fr l with `Reg r -> st.Vm.Interp.regs.(r) | `Mem a -> Vm.Interp.read st a
+(* [read]/[write] run once per table entry per frame per collection, so
+   they dispatch on the location directly instead of going through
+   {!resolve}, whose polymorphic-variant result is a fresh heap block. *)
+let read (st : Vm.Interp.t) fr (l : L.t) =
+  match l with
+  | L.Lreg r -> (
+      match fr.fr_reg_loc.(r) with
+      | In_regs -> st.Vm.Interp.regs.(r)
+      | In_mem a -> Vm.Interp.read st a)
+  | L.Lmem (L.FP, o) -> Vm.Interp.read st (fr.fr_fp + o)
+  | L.Lmem (L.SP, o) -> Vm.Interp.read st (fr.fr_sp + o)
+  | L.Lmem (L.AP, o) -> Vm.Interp.read st (fr.fr_ap + o)
 
-let write (st : Vm.Interp.t) fr l v =
-  match resolve fr l with
-  | `Reg r -> st.Vm.Interp.regs.(r) <- v
-  | `Mem a -> Vm.Interp.write st a v
+let write (st : Vm.Interp.t) fr (l : L.t) v =
+  match l with
+  | L.Lreg r -> (
+      match fr.fr_reg_loc.(r) with
+      | In_regs -> st.Vm.Interp.regs.(r) <- v
+      | In_mem a -> Vm.Interp.write st a v)
+  | L.Lmem (L.FP, o) -> Vm.Interp.write st (fr.fr_fp + o) v
+  | L.Lmem (L.SP, o) -> Vm.Interp.write st (fr.fr_sp + o) v
+  | L.Lmem (L.AP, o) -> Vm.Interp.write st (fr.fr_ap + o) v
 
 (** Walk the stack at a collection. Returns frames innermost-first.
     [frames_traced] statistics are the caller's concern. *)
 let walk (st : Vm.Interp.t) : frame list =
   let img = st.Vm.Interp.image in
-  let tables = img.Vm.Image.tables in
+  let cache = img.Vm.Image.decode_cache in
   let nregs = Machine.Reg.nregs in
   let find_tables ~fid ~code_index =
     let code_offset = img.Vm.Image.insn_offsets.(code_index) in
-    Gcmaps.Decode.find tables ~fid ~code_offset
+    (* Memoized pc→table lookup; falls back to the paper-faithful stream
+       re-scan when the cache is disabled (--no-decode-cache). *)
+    Gcmaps.Decode_cache.find cache ~fid ~code_offset
   in
   let rec go ~gp_code_index ~fp ~ap ~reg_loc acc =
     let fid = Vm.Image.proc_of_code_index img gp_code_index in

@@ -28,6 +28,7 @@ type t = {
   insn_offsets : int array; (* byte offset of each instruction; length n+1 *)
   code_bytes : int;
   procs : proc_info array; (* indexed by fid *)
+  code_fid : int array; (* per-instruction owning fid: O(1) proc lookup *)
   main_fid : int;
   globals_base : int;
   global_addrs : int array;
@@ -35,6 +36,7 @@ type t = {
   text_addrs : int array;
   static_init : (int * int) list; (* (address, value) installed at reset *)
   tdescs : Rt.Typedesc.t array;
+  layouts : Rt.Typedesc.layout array; (* precomputed, same index as tdescs *)
   text_tdesc : int; (* descriptor id for TEXT payloads *)
   heap_base : int;
   semi_words : int;
@@ -42,6 +44,7 @@ type t = {
   stack_top : int;
   total_words : int;
   tables : Gcmaps.Encode.program_tables; (* operational tables *)
+  decode_cache : Gcmaps.Decode_cache.t; (* memoized pc→table lookups *)
   rawmaps : RM.proc_maps array; (* unencoded, for stats and tests *)
   folds_applied : int;
   folds_suppressed : int;
@@ -189,6 +192,15 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
   in
   let code_starts = Array.map (fun (pi : proc_info) -> insn_offsets.(pi.pi_entry)) procs in
   let tables = Gcmaps.Encode.encode_program opts.scheme opts.table_opts rawmaps code_starts in
+  (* Per-instruction owning procedure, so return paths and the stack walk
+     resolve code index → fid with one array load instead of a search. *)
+  let code_fid = Array.make total_insns 0 in
+  Array.iter
+    (fun (pi : proc_info) ->
+      for i = pi.pi_entry to pi.pi_code_end - 1 do
+        code_fid.(i) <- pi.pi_fid
+      done)
+    procs;
   (* 6. Memory map. *)
   let heap_base = ((!cursor + 7) / 8 * 8) + 8 in
   let semi = opts.heap_words in
@@ -199,6 +211,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     insn_offsets;
     code_bytes;
     procs;
+    code_fid;
     main_fid = prog.Mir.Ir.main_fid;
     globals_base;
     global_addrs;
@@ -206,6 +219,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     text_addrs;
     static_init = List.rev !static_init;
     tdescs;
+    layouts = Array.map Rt.Typedesc.layout tdescs;
     text_tdesc;
     heap_base;
     semi_words = semi;
@@ -213,6 +227,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     stack_top;
     total_words = stack_top;
     tables;
+    decode_cache = Gcmaps.Decode_cache.create tables;
     rawmaps;
     folds_applied =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_folds_applied) 0 outs;
@@ -221,13 +236,9 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     gc_safe = opts.select.Codegen.Select.gc_restrict;
   }
 
-(** fid of the procedure containing a code index. *)
+(** fid of the procedure containing a code index — a single array load
+    against the per-instruction annotation built at image time (the old
+    binary search ran on every [Leave] and every stack-walk frame). *)
 let proc_of_code_index t idx =
-  let n = Array.length t.procs in
-  let rec go lo hi =
-    if hi - lo <= 1 then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if t.procs.(mid).pi_entry <= idx then go mid hi else go lo mid
-  in
-  if n = 0 then raise Not_found else go 0 n
+  if idx < 0 || idx >= Array.length t.code_fid then raise Not_found
+  else t.code_fid.(idx)

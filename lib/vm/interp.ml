@@ -170,13 +170,16 @@ let take_free_list t size =
   go [] t.free_list
 
 (* Bump allocation in from-space; the free list is consulted first, and
-   again after a collection refills it. *)
+   again after a collection refills it. Under the precise collector the
+   free list is permanently empty, so the probe (and its list rebuild) is
+   skipped entirely on that hot path. *)
 let allocate t size =
-  match take_free_list t size with
+  let probe () = if t.free_list == [] then None else take_free_list t size in
+  match probe () with
   | Some a -> a
   | None -> (
       ensure_space t size;
-      match take_free_list t size with
+      match probe () with
       | Some a -> a
       | None ->
           if heap_free t < size then Vm_error.fail "heap exhausted (%d words)" size;
@@ -185,16 +188,20 @@ let allocate t size =
           a)
 
 let rt_alloc t tdid ~length =
-  let td = t.image.Image.tdescs.(tdid) in
-  let size = Rt.Typedesc.object_words td ~length in
+  let lay = t.image.Image.layouts.(tdid) in
+  let size = Rt.Typedesc.layout_words lay ~length in
   let a = allocate t size in
-  for i = 0 to size - 1 do
-    t.mem.(a + i) <- 0
-  done;
-  t.mem.(a) <- tdid;
-  (match td with
-  | Rt.Typedesc.Open _ -> t.mem.(a + 1) <- length
-  | Rt.Typedesc.Fixed _ -> ());
+  (* Zero the data words only; the header word(s) are written directly. *)
+  (match lay with
+  | Rt.Typedesc.Lopen _ ->
+      let h = Rt.Typedesc.open_header_words in
+      Array.fill t.mem (a + h) (size - h) 0;
+      t.mem.(a) <- tdid;
+      t.mem.(a + 1) <- length
+  | Rt.Typedesc.Lfixed _ ->
+      let h = Rt.Typedesc.fixed_header_words in
+      Array.fill t.mem (a + h) (size - h) 0;
+      t.mem.(a) <- tdid);
   t.alloc_count <- t.alloc_count + 1;
   t.alloc_words <- t.alloc_words + size;
   Telemetry.Metrics.incr c_allocs;
@@ -297,8 +304,11 @@ let step t =
       t.pc <- t.pc + 1
   | I.Leave ->
       let f = fp t in
-      (* Restore callee-saved registers from this procedure's save slots. *)
-      let fid = Image.proc_of_code_index t.image t.pc in
+      (* Restore callee-saved registers from this procedure's save slots.
+         The owning procedure comes from the per-instruction [code_fid]
+         annotation — one array load, where a binary search used to run on
+         every procedure return. *)
+      let fid = t.image.Image.code_fid.(t.pc) in
       List.iter (fun (r, off) -> t.regs.(r) <- read t (f + off)) t.image.Image.procs.(fid).Image.pi_saves;
       set_sp t f;
       set_fp t (read t f);
