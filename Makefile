@@ -1,13 +1,15 @@
 # Developer entry points. `make check` is what CI runs: full build, the
-# eleven-suite + telemetry test run, and an observability smoke test that
-# executes a collecting workload with tracing on and validates the emitted
-# Chrome trace JSON (parses, spans balanced, all four gc pause phases
-# present).
+# test run, an observability smoke test that executes a collecting
+# workload with tracing on and validates the emitted Chrome trace JSON
+# (parses, spans balanced, all four gc pause phases present), and a
+# fault-injection smoke sweep over mutated gc-table streams.
 
 DUNE ?= dune
 TRACE_OUT := _build/smoke.trace.json
+FAULT_ITERS ?= 15
+FAULT_OUT := _build/fault-report.json
 
-.PHONY: all build test smoke check bench bench-perf clean
+.PHONY: all build test test-verified smoke fault check bench bench-perf clean
 
 all: build
 
@@ -17,13 +19,26 @@ build:
 test: build
 	$(DUNE) runtest
 
+# The full test run again, with the heap verifier forced on around every
+# collection (pre + post) via the environment switches.
+test-verified: build
+	MM_VERIFY_HEAP=1 MM_VERIFY_PRE=1 $(DUNE) runtest --force
+
 smoke: build
 	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
 	  examples/sample.m3l > /dev/null
 	$(DUNE) exec tools/validate_trace.exe -- $(TRACE_OUT) \
 	  gc.collect gc.stackwalk gc.underive gc.copy gc.rederive
 
-check: build test smoke
+# Fault-injection sweep: mutated table streams must never crash, hang or
+# silently diverge — both with the load-time cross-check (the shipping
+# configuration) and without it (decoder + heap verifier on their own).
+fault: build
+	$(DUNE) exec tools/faultgen.exe -- --iters $(FAULT_ITERS) --out $(FAULT_OUT)
+	$(DUNE) exec tools/faultgen.exe -- --iters $(FAULT_ITERS) --no-cross-check \
+	  --out $(FAULT_OUT:.json=.nocross.json)
+
+check: build test smoke fault
 	@echo "check: ok"
 
 bench: build

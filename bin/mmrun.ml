@@ -70,8 +70,10 @@ let print_gc_stats () =
     ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
 
 let run file optimize checks no_gc_restrict heap stack collector gc_stats trace metrics
-    no_decode_cache fuel =
+    no_decode_cache verify_heap verify_pre fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
+  if verify_heap then Gc.Verify.set_post true;
+  if verify_pre then Gc.Verify.set_pre true;
   let options =
     {
       Driver.Compile.default_options with
@@ -107,7 +109,12 @@ let run file optimize checks no_gc_restrict heap stack collector gc_stats trace 
   | M3l.M3l_error.Type_error (loc, m) ->
       `Error (false, Printf.sprintf "%s: type error: %s" (M3l.Srcloc.to_string loc) m)
   | Vm.Interp.Guest_error m -> `Error (false, "runtime error: " ^ m)
-  | Vm.Vm_error.Error m -> `Error (false, "vm error: " ^ m)
+  | Vm.Vm_error.Error e -> `Error (false, "vm error: " ^ Vm.Vm_error.to_string e)
+  | Gcmaps.Decode.Table_corrupt { fid; offset; pos; reason } ->
+      `Error
+        ( false,
+          Printf.sprintf "corrupt gc table (proc %d, code offset %d, stream byte %d): %s" fid
+            offset pos reason )
   | Sys_error m -> `Error (false, m)
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -146,6 +153,19 @@ let no_decode_cache =
           "Disable the memoized pc→table decode cache: every frame lookup \
            re-scans the procedure's table stream, reproducing the paper's \
            uncached decode cost (§5.2/§6.3).")
+let verify_heap =
+  Arg.(
+    value & flag
+    & info [ "verify-heap" ]
+        ~doc:
+          "After every collection, re-check the whole heap: object headers, \
+           pointer fields, global/stack/register roots and the derived-value \
+           invariant. Violations abort with a structured report.")
+let verify_pre =
+  Arg.(
+    value & flag
+    & info [ "verify-pre" ]
+        ~doc:"Also run the heap verifier before each collection moves anything.")
 let fuel =
   Arg.(value & opt int 1_000_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
 
@@ -156,6 +176,6 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gc_stats $ trace $ metrics $ no_decode_cache $ fuel))
+       $ gc_stats $ trace $ metrics $ no_decode_cache $ verify_heap $ verify_pre $ fuel))
 
 let () = exit (Cmd.eval cmd)

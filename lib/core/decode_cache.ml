@@ -142,12 +142,23 @@ let search (offsets : int array) rel : int option =
   go 0 n
 
 (** Memoizing equivalent of {!Decode.find}: same results, same
-    [Not_found] behaviour, but each procedure's stream is decoded at most
-    once per image. Falls through to the uncached scanner when the cache
-    is disabled. *)
+    {!Decode.Table_corrupt} behaviour on a miss, but each procedure's
+    stream is decoded at most once per image. Falls through to the
+    uncached scanner when the cache is disabled. *)
 let find (c : t) ~fid ~code_offset : Decode.decoded_proc * Rawmaps.gcpoint =
   if not !enabled_flag then Decode.find c.tables ~fid ~code_offset
   else begin
+    if fid < 0 || fid >= Array.length c.slots then
+      raise
+        (Decode.Table_corrupt
+           {
+             fid;
+             offset = code_offset;
+             pos = -1;
+             reason =
+               Printf.sprintf "procedure id %d out of range (program has %d)" fid
+                 (Array.length c.slots);
+           });
     let e =
       match c.slots.(fid) with
       | Some e ->
@@ -161,5 +172,5 @@ let find (c : t) ~fid ~code_offset : Decode.decoded_proc * Rawmaps.gcpoint =
     let rel = code_offset - c.tables.Encode.code_starts.(fid) in
     match search e.ce_offsets rel with
     | Some i -> (e.ce_dp, e.ce_points.(i))
-    | None -> raise Not_found
+    | None -> raise (Decode.gcpoint_missing ~fid ~code_offset)
   end

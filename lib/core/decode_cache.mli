@@ -25,8 +25,9 @@ val enabled : unit -> bool
 
 val find : t -> fid:int -> code_offset:int -> Decode.decoded_proc * Rawmaps.gcpoint
 (** Memoizing equivalent of {!Decode.find} — structurally identical
-    results. @raise Not_found if [code_offset] is not a gc-point of
-    procedure [fid]. *)
+    results. @raise Decode.Table_corrupt if [code_offset] is not a
+    gc-point of procedure [fid], [fid] is out of range, or the stream is
+    malformed (same error either side of the cache switch). *)
 
 val tables : t -> Encode.program_tables
 

@@ -48,6 +48,11 @@ let in_to c v = v >= c.to_lo && v < c.to_lo + c.st.Vm.Interp.image.Vm.Image.semi
 (** Forward a tidy pointer: copy its object to to-space if not already
     copied; pointers outside from-space (NIL, globals, static text, stack
     addresses) are left alone. *)
+let bad_root c v reason =
+  Vm.Vm_error.(
+    error
+      (Bad_root { loc = Printf.sprintf "from-space word %d" v; value = c.st.Vm.Interp.mem.(v); reason }))
+
 let forward c v =
   if not (in_from c v) then v
   else begin
@@ -56,13 +61,25 @@ let forward c v =
     else begin
       let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
       if header < 0 || header >= Array.length layouts then
-        Vm.Vm_error.fail "gc: bad object header %d at %d (untidy root?)" header v;
+        bad_root c v
+          (Printf.sprintf "header %d is not a type descriptor (untidy root?)" header);
       let size =
         match layouts.(header) with
         | Rt.Typedesc.Lfixed { words; _ } -> words
         | Rt.Typedesc.Lopen { elt_size; _ } ->
-            Rt.Typedesc.open_header_words + (c.st.Vm.Interp.mem.(v + 1) * elt_size)
+            let length = c.st.Vm.Interp.mem.(v + 1) in
+            if length < 0 then
+              bad_root c v (Printf.sprintf "open array has negative length %d" length);
+            Rt.Typedesc.open_header_words + (length * elt_size)
       in
+      (* Size checks before the blit: a fake "object" (an integer that
+         happens to land on a plausible header) can claim any extent, and
+         Array.blit would either throw a bare Invalid_argument or, worse,
+         copy half the heap. *)
+      if v + size > c.st.Vm.Interp.from_base + c.st.Vm.Interp.image.Vm.Image.semi_words then
+        bad_root c v (Printf.sprintf "object of %d words overruns from-space" size);
+      if c.to_alloc + size > c.to_lo + c.st.Vm.Interp.image.Vm.Image.semi_words then
+        bad_root c v (Printf.sprintf "object of %d words overruns to-space" size);
       let dst = c.to_alloc in
       Array.blit c.st.Vm.Interp.mem v c.st.Vm.Interp.mem dst size;
       c.to_alloc <- dst + size;
@@ -134,11 +151,20 @@ let collect (st : Vm.Interp.t) ~needed =
   gcs.Vm.Interp.frames_traced <- gcs.Vm.Interp.frames_traced + List.length frames;
   let t_walk1 = now_ns () in
   T.Trace.end_span ~args:[ ("frames", T.Json.Int (List.length frames)) ] ();
+  (* Optional pre-pass: check the heap and the roots the tables just
+     produced before anything is moved, so a violation is attributed to
+     the mutator (or the tables), not to this collection. *)
+  if Verify.pre_enabled () then ignore (Verify.check st ~phase:"pre" ~frames ());
   (* --- un-derive: recover E for every live derived value. --- *)
   T.Trace.begin_span ~cat:"gc" "gc.underive";
   let adjusted = Derived_update.adjust_all st frames in
   let t_trace1 = now_ns () in
   T.Trace.end_span ();
+  (* Targets hold exactly E between un-derive and copy: snapshot it so the
+     post-pass can re-check the §3 invariant over the moved values. *)
+  let derived_snap =
+    if Verify.post_enabled () then Some (Verify.snapshot_derived st adjusted) else None
+  in
   (* --- copy phase --- *)
   T.Trace.begin_span ~cat:"gc" "gc.copy";
   let c = { st; to_lo = st.Vm.Interp.to_base; to_alloc = st.Vm.Interp.to_base } in
@@ -190,7 +216,12 @@ let collect (st : Vm.Interp.t) ~needed =
     T.Metrics.observe h_words (float_of_int words);
     T.Metrics.observe h_objects (float_of_int (gcs.Vm.Interp.objects_copied - objects0));
     T.Metrics.observe h_frames (float_of_int (List.length frames))
-  end
+  end;
+  (* Post-pass, after the flip so it sees exactly the heap the mutator is
+     about to resume on. *)
+  match derived_snap with
+  | Some snap -> ignore (Verify.check st ~phase:"post" ~frames ~derived:snap ())
+  | None -> ()
 
 (** A "null collection": locate the tables, walk the stack, adjust and
     immediately re-derive, moving nothing. Used to reproduce the paper's

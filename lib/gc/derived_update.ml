@@ -20,7 +20,12 @@ let c_rederived = Telemetry.Metrics.counter "derived.rederived"
 
 (* The derivation entries active at a frame's gc-point: the unconditional
    ones plus, for each ambiguous derivation, the case selected by the path
-   variable's current value (paper §4). *)
+   variable's current value (paper §4). The table builder orders the
+   unconditional entries derived-before-base, but variant cases are stored
+   apart from that sequence, so the combined list must be re-ordered here:
+   a chain like [a = v + E1; v = b + E2] with [v]'s entry coming from a
+   variant would otherwise un-derive [v] first, leaving [a]'s recovered E
+   contaminated with a soon-to-move pointer. *)
 let active_entries (st : Vm.Interp.t) (fr : Stackwalk.frame) : RM.deriv_entry list =
   let chosen =
     List.filter_map
@@ -29,7 +34,9 @@ let active_entries (st : Vm.Interp.t) (fr : Stackwalk.frame) : RM.deriv_entry li
         List.assoc_opt path_value v.RM.cases)
       fr.fr_gcpoint.RM.variants
   in
-  chosen @ fr.fr_gcpoint.RM.derivs
+  match chosen with
+  | [] -> fr.fr_gcpoint.RM.derivs
+  | _ -> RM.order_derivs (chosen @ fr.fr_gcpoint.RM.derivs)
 
 let adjust_entry st fr (e : RM.deriv_entry) =
   let a = ref (Stackwalk.read st fr e.RM.target) in

@@ -71,8 +71,16 @@ let walk (st : Vm.Interp.t) : frame list =
   let find_tables ~fid ~code_index =
     let code_offset = img.Vm.Image.insn_offsets.(code_index) in
     (* Memoized pc→table lookup; falls back to the paper-faithful stream
-       re-scan when the cache is disabled (--no-decode-cache). *)
-    Gcmaps.Decode_cache.find cache ~fid ~code_offset
+       re-scan when the cache is disabled (--no-decode-cache). A decode
+       failure here means the collector cannot trace this stack: surface
+       it as a typed vm error rather than letting the gcmaps-level
+       exception escape through the allocation path. *)
+    try Gcmaps.Decode_cache.find cache ~fid ~code_offset
+    with Gcmaps.Decode.Table_corrupt { fid; offset; pos; reason } ->
+      let reason =
+        if pos >= 0 then Printf.sprintf "%s (stream byte %d)" reason pos else reason
+      in
+      Vm.Vm_error.(error (Corrupt_table { fid; offset; reason }))
   in
   let rec go ~gp_code_index ~fp ~ap ~reg_loc acc =
     let fid = Vm.Image.proc_of_code_index img gp_code_index in

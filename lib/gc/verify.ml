@@ -1,0 +1,303 @@
+(** Post- (and optionally pre-) collection heap-and-root verification.
+
+    The paper's machinery only works if the compiler-emitted tables are
+    exactly right — "an incorrect program can destroy data even in
+    type-safe languages" (§2). This module re-derives the collector's
+    invariants from scratch after every collection and reports every
+    violation it finds, instead of letting a wrong table entry surface as
+    silent data corruption a million instructions later:
+
+    - the live region [from_base, alloc) parses as a sequence of valid
+      objects: every header names a real type descriptor and every
+      object's size keeps it inside the live region;
+    - every heap pointer field of every live object is NIL, a non-heap
+      address (static text), or the address of a live object's header;
+    - every global, stack and register root the tables call tidy
+      satisfies the same rule;
+    - frame pointers of the walked stack lie inside the stack segment;
+    - every derived value re-derives consistently: the E recovered by the
+      un-derive step equals [target − Σplus + Σminus] recomputed from the
+      post-collection values (the §3 invariant [target = Σplus − Σminus + E]).
+
+    Checks accumulate into a {!report} rather than dying on the first
+    failure; a non-empty report raises [Vm.Vm_error.Verify_failed].
+
+    Both passes are off by default and cost one flag test per collection
+    when disabled (telemetry-style). They are enabled by [mmrun
+    --verify-heap] / [--verify-pre], or by the [MM_VERIFY_HEAP] /
+    [MM_VERIFY_PRE] environment variables so a whole test run can be
+    forced through verification without threading flags. *)
+
+module RM = Gcmaps.Rawmaps
+module L = Gcmaps.Loc
+
+let c_runs = Telemetry.Metrics.counter "verify.runs"
+let c_violations = Telemetry.Metrics.counter "verify.violations"
+
+(* ------------------------------------------------------------------ *)
+(* Switches                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let env_on name = match Sys.getenv_opt name with Some ("" | "0") | None -> false | Some _ -> true
+let post_flag = ref (env_on "MM_VERIFY_HEAP")
+let pre_flag = ref (env_on "MM_VERIFY_PRE")
+let set_post b = post_flag := b
+let set_pre b = pre_flag := b
+let post_enabled () = !post_flag
+let pre_enabled () = !pre_flag
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  collection : int;
+  phase : string; (* "pre" | "post" *)
+  objects : int; (* live objects walked *)
+  roots : int; (* global + stack + register roots checked *)
+  derived : int; (* derived entries re-checked *)
+  violations : string list;
+}
+
+let last : report option ref = ref None
+let last_report () = !last
+
+(* Cap the accumulated violations: one corrupt header typically cascades,
+   and the report is for a human. *)
+let max_violations = 64
+
+type ctx = {
+  st : Vm.Interp.t;
+  mutable violations : string list; (* reversed *)
+  mutable nviol : int;
+  mutable objects : int;
+  mutable roots : int;
+  mutable nderived : int;
+  starts : (int, int) Hashtbl.t; (* object header address -> size *)
+  mutable walk_ok : bool; (* heap parse completed; starts is total *)
+}
+
+let violate c fmt =
+  Printf.ksprintf
+    (fun s ->
+      c.nviol <- c.nviol + 1;
+      if c.nviol <= max_violations then c.violations <- s :: c.violations)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Heap walk                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let heap_lo (st : Vm.Interp.t) = st.Vm.Interp.image.Vm.Image.heap_base
+let heap_hi (st : Vm.Interp.t) =
+  st.Vm.Interp.image.Vm.Image.heap_base + (2 * st.Vm.Interp.image.Vm.Image.semi_words)
+
+let in_heap_region st v = v >= heap_lo st && v < heap_hi st
+let in_live st v = v >= st.Vm.Interp.from_base && v < st.Vm.Interp.alloc
+
+(* A value is a valid pointer target iff it is not a heap-region address
+   at all (NIL, a global, static text — the tables legitimately cover
+   such references), or it is the header address of a live object. Heap
+   addresses outside the live range, or inside an object, are exactly the
+   dangling/interior references a table bug produces. *)
+let check_target c ~what v =
+  if in_heap_region c.st v then begin
+    if not (in_live c.st v) then
+      violate c "%s holds %d: inside the heap but outside the live region [%d, %d)" what v
+        c.st.Vm.Interp.from_base c.st.Vm.Interp.alloc
+    else if c.walk_ok && not (Hashtbl.mem c.starts v) then
+      violate c "%s holds %d: inside the live region but not an object header" what v
+  end
+
+let walk_heap c =
+  let st = c.st in
+  let mem = st.Vm.Interp.mem in
+  let layouts = st.Vm.Interp.image.Vm.Image.layouts in
+  let lo = st.Vm.Interp.from_base and hi = st.Vm.Interp.alloc in
+  let semi = st.Vm.Interp.image.Vm.Image.semi_words in
+  if lo <> heap_lo st && lo <> heap_lo st + semi then begin
+    violate c "from_base %d is not a semispace base" lo;
+    c.walk_ok <- false
+  end
+  else if hi < lo || hi > lo + semi then begin
+    violate c "allocation frontier %d outside the current semispace [%d, %d]" hi lo (lo + semi);
+    c.walk_ok <- false
+  end
+  else begin
+    let addr = ref lo in
+    (try
+       while !addr < hi do
+         let header = mem.(!addr) in
+         if header < 0 || header >= Array.length layouts then begin
+           violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
+             (Array.length layouts - 1);
+           raise Exit
+         end;
+         let size =
+           match layouts.(header) with
+           | Rt.Typedesc.Lfixed { words; _ } -> words
+           | Rt.Typedesc.Lopen { elt_size; _ } ->
+               let length = mem.(!addr + 1) in
+               if length < 0 then begin
+                 violate c "open array at %d has negative length %d" !addr length;
+                 raise Exit
+               end;
+               Rt.Typedesc.open_header_words + (length * elt_size)
+         in
+         if size <= 0 || !addr + size > hi then begin
+           violate c "object at %d (size %d words) overruns the live region end %d" !addr size hi;
+           raise Exit
+         end;
+         Hashtbl.replace c.starts !addr size;
+         c.objects <- c.objects + 1;
+         addr := !addr + size
+       done
+     with Exit -> c.walk_ok <- false)
+  end
+
+(* Second pass over the parsed objects: every pointer field must reference
+   a valid target. Only meaningful when the parse completed. *)
+let check_heap_fields c =
+  if c.walk_ok then begin
+    let mem = c.st.Vm.Interp.mem in
+    let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
+    Hashtbl.iter
+      (fun addr _size ->
+        match layouts.(mem.(addr)) with
+        | Rt.Typedesc.Lfixed { offsets; _ } ->
+            Array.iter
+              (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (addr + o)) mem.(addr + o))
+              offsets
+        | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
+            if Array.length elt_offsets > 0 then begin
+              let length = mem.(addr + 1) in
+              for i = 0 to length - 1 do
+                let base = addr + Rt.Typedesc.open_header_words + (i * elt_size) in
+                Array.iter
+                  (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (base + o)) mem.(base + o))
+                  elt_offsets
+              done
+            end)
+      c.starts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_global_roots c =
+  List.iter
+    (fun a ->
+      c.roots <- c.roots + 1;
+      check_target c ~what:(Printf.sprintf "global root at %d" a) c.st.Vm.Interp.mem.(a))
+    c.st.Vm.Interp.image.Vm.Image.global_roots
+
+let check_frame_roots c (fr : Stackwalk.frame) =
+  let img = c.st.Vm.Interp.image in
+  if fr.Stackwalk.fr_fp < img.Vm.Image.stack_base || fr.Stackwalk.fr_fp >= img.Vm.Image.stack_top
+  then
+    violate c "frame of proc %d has fp %d outside the stack [%d, %d)" fr.Stackwalk.fr_fid
+      fr.Stackwalk.fr_fp img.Vm.Image.stack_base img.Vm.Image.stack_top;
+  if fr.Stackwalk.fr_sp < img.Vm.Image.stack_base || fr.Stackwalk.fr_sp > fr.Stackwalk.fr_fp then
+    violate c "frame of proc %d has sp %d outside [stack_base, fp=%d]" fr.Stackwalk.fr_fid
+      fr.Stackwalk.fr_sp fr.Stackwalk.fr_fp;
+  let where l =
+    Printf.sprintf "proc %d %s root %s" fr.Stackwalk.fr_fid
+      (match l with L.Lreg _ -> "register" | L.Lmem _ -> "stack")
+      (L.to_string l)
+  in
+  List.iter
+    (fun l ->
+      c.roots <- c.roots + 1;
+      check_target c ~what:(where l) (Stackwalk.read c.st fr l))
+    fr.Stackwalk.fr_gcpoint.RM.stack_ptrs;
+  List.iter
+    (fun r ->
+      let l = L.Lreg r in
+      c.roots <- c.roots + 1;
+      check_target c ~what:(where l) (Stackwalk.read c.st fr l))
+    fr.Stackwalk.fr_gcpoint.RM.reg_ptrs
+
+(* ------------------------------------------------------------------ *)
+(* Derived values (§3 invariant)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The E of each live derived value, captured between the un-derive step
+    (when targets hold exactly E) and the copy. After re-derivation the
+    invariant [E = target − Σplus + Σminus] must hold again over the
+    {e moved} values; {!check_derived} recomputes it. *)
+type derived_snapshot = (Stackwalk.frame * RM.deriv_entry * int) list
+
+let snapshot_derived (st : Vm.Interp.t)
+    (adjusted : (Stackwalk.frame * RM.deriv_entry list) list) : derived_snapshot =
+  List.concat_map
+    (fun (fr, entries) ->
+      List.map (fun (e : RM.deriv_entry) -> (fr, e, Stackwalk.read st fr e.RM.target)) entries)
+    adjusted
+
+let check_derived c (snap : derived_snapshot) =
+  List.iter
+    (fun ((fr : Stackwalk.frame), (e : RM.deriv_entry), expected_e) ->
+      c.nderived <- c.nderived + 1;
+      let v = ref (Stackwalk.read c.st fr e.RM.target) in
+      List.iter (fun b -> v := !v - Stackwalk.read c.st fr b) e.RM.plus;
+      List.iter (fun b -> v := !v + Stackwalk.read c.st fr b) e.RM.minus;
+      if !v <> expected_e then
+        violate c
+          "derived value %s in proc %d re-derives with E=%d, un-derive recovered E=%d"
+          (L.to_string e.RM.target) fr.Stackwalk.fr_fid !v expected_e)
+    snap
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a full verification pass. [frames] is the stack walk of the
+    collection being checked (the verifier never re-walks, so a pre-pass
+    sees exactly the frames the collector is about to trust); [derived]
+    is the E snapshot for post-passes.
+    @raise Vm.Vm_error.Error [Verify_failed] if any check fails. *)
+let check (st : Vm.Interp.t) ~phase ~frames ?(derived = []) () : report =
+  Telemetry.Metrics.incr c_runs;
+  let c =
+    {
+      st;
+      violations = [];
+      nviol = 0;
+      objects = 0;
+      roots = 0;
+      nderived = 0;
+      starts = Hashtbl.create 256;
+      walk_ok = true;
+    }
+  in
+  Telemetry.Trace.begin_span ~cat:"gc" "gc.verify";
+  walk_heap c;
+  check_heap_fields c;
+  check_global_roots c;
+  List.iter (check_frame_roots c) frames;
+  check_derived c derived;
+  Telemetry.Trace.end_span ~args:[ ("phase", Telemetry.Json.Str phase) ] ();
+  let violations =
+    let vs = List.rev c.violations in
+    if c.nviol > max_violations then
+      vs @ [ Printf.sprintf "... and %d more" (c.nviol - max_violations) ]
+    else vs
+  in
+  let r =
+    {
+      collection = st.Vm.Interp.gc.Vm.Interp.collections;
+      phase;
+      objects = c.objects;
+      roots = c.roots;
+      derived = c.nderived;
+      violations;
+    }
+  in
+  last := Some r;
+  if c.nviol > 0 then begin
+    Telemetry.Metrics.incr ~by:c.nviol c_violations;
+    Vm.Vm_error.(
+      error (Verify_failed { collection = r.collection; phase; violations = r.violations }))
+  end;
+  r

@@ -18,6 +18,12 @@ let encode buf v =
     Buffer.add_char buf (Char.chr (cont lor group))
   done
 
+(* Longest legal encoding: 9 bytes cover 7 + 8×7 = 63 bits, the full range
+   of an OCaml int. [encode] never emits more (see [byte_length]); a tenth
+   continuation byte can therefore only come from corrupt or adversarial
+   input, and accepting it would silently shift payload bits off the top. *)
+let max_bytes = 9
+
 let decode bytes pos =
   let len = Bytes.length bytes in
   if pos < 0 || pos >= len then invalid_arg "Varint.decode: position out of bounds";
@@ -27,14 +33,15 @@ let decode bytes pos =
     let p = b0 land 0x7f in
     if p land 0x40 <> 0 then p - 0x80 else p
   in
-  let rec go v pos cont =
+  let rec go v pos n cont =
     if not cont then (v, pos)
     else if pos >= len then invalid_arg "Varint.decode: truncated encoding"
+    else if n >= max_bytes then invalid_arg "Varint.decode: overlong encoding (> 63 bits)"
     else
       let b = Char.code (Bytes.get bytes pos) in
-      go ((v lsl 7) lor (b land 0x7f)) (pos + 1) (b land 0x80 <> 0)
+      go ((v lsl 7) lor (b land 0x7f)) (pos + 1) (n + 1) (b land 0x80 <> 0)
   in
-  go v0 (pos + 1) (b0 land 0x80 <> 0)
+  go v0 (pos + 1) 1 (b0 land 0x80 <> 0)
 
 let encode_to_bytes v =
   let buf = Buffer.create 4 in

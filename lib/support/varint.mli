@@ -10,11 +10,17 @@ val byte_length : int -> int
 val encode : Buffer.t -> int -> unit
 (** [encode buf v] appends the packed encoding of [v] to [buf]. *)
 
+val max_bytes : int
+(** The longest encoding [encode] can emit (9 bytes = 63 payload bits). *)
+
 val decode : Bytes.t -> int -> int * int
 (** [decode bytes pos] reads one packed word starting at [pos]; returns
-    [(value, next_pos)].
-    @raise Invalid_argument if [pos] is out of bounds or the encoding runs
-    past the end of [bytes]. *)
+    [(value, next_pos)]. The scan is total: it consumes at most
+    {!max_bytes} bytes and never reads past the end of [bytes].
+    @raise Invalid_argument if [pos] is out of bounds, the encoding runs
+    past the end of [bytes] (truncated), or the continuation bits extend
+    beyond {!max_bytes} bytes (overlong — the accumulator would silently
+    wrap past 63 bits). *)
 
 val encode_to_bytes : int -> Bytes.t
 (** [encode_to_bytes v] is the packed encoding of [v] alone. *)

@@ -192,6 +192,11 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
   in
   let code_starts = Array.map (fun (pi : proc_info) -> insn_offsets.(pi.pi_entry)) procs in
   let tables = Gcmaps.Encode.encode_program opts.scheme opts.table_opts rawmaps code_starts in
+  (* Load-time integrity check: every table stream must decode end to end
+     and agree with the raw maps it was encoded from, so the collector
+     never meets a stream that cannot decode. One-time cost, off the
+     collection path. *)
+  Gcmaps.Decode.validate_tables ~against:rawmaps tables;
   (* Per-instruction owning procedure, so return paths and the stack walk
      resolve code index → fid with one array load instead of a search. *)
   let code_fid = Array.make total_insns 0 in
@@ -240,5 +245,6 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     against the per-instruction annotation built at image time (the old
     binary search ran on every [Leave] and every stack-walk frame). *)
 let proc_of_code_index t idx =
-  if idx < 0 || idx >= Array.length t.code_fid then raise Not_found
+  if idx < 0 || idx >= Array.length t.code_fid then
+    Vm_error.fail "code index %d outside the image (0..%d)" idx (Array.length t.code_fid - 1)
   else t.code_fid.(idx)

@@ -182,7 +182,8 @@ let allocate t size =
       match probe () with
       | Some a -> a
       | None ->
-          if heap_free t < size then Vm_error.fail "heap exhausted (%d words)" size;
+          if heap_free t < size then
+            Vm_error.(error (Heap_exhausted { needed = size; free = heap_free t }));
           let a = t.alloc in
           t.alloc <- t.alloc + size;
           a)

@@ -1,6 +1,41 @@
 (** Runtime failures of the UVM (distinct from guest-program error traps,
-    which are reported with their own messages). *)
+    which are reported with their own messages).
 
-exception Error of string
+    Failures carry a typed payload so the collector, the verifier and the
+    fault harness can dispatch on the failure class; {!to_string} renders
+    the same operator-facing text mmrun has always printed. *)
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+type t =
+  | Generic of string
+  | Corrupt_table of { fid : int; offset : int; reason : string }
+      (** A gc table stream failed to decode, or a return address mapped to
+          no gc-point ([fid]/[offset] as in [Decode.Table_corrupt]). *)
+  | Bad_root of { loc : string; value : int; reason : string }
+      (** A root the tables call a tidy pointer does not reference a valid
+          heap object: [loc] names where it lives (a register, stack slot
+          or global), [value] is the offending word. *)
+  | Heap_exhausted of { needed : int; free : int }
+      (** An allocation of [needed] words found only [free] after gc. *)
+  | Verify_failed of { collection : int; phase : string; violations : string list }
+      (** The heap verifier found inconsistencies [phase] ("pre"/"post")
+          collection number [collection]. *)
+
+let to_string = function
+  | Generic s -> s
+  (* Exactly the message [fail "heap exhausted (%d words)"] used to print,
+     so mmrun output is unchanged. *)
+  | Heap_exhausted { needed; free = _ } -> Printf.sprintf "heap exhausted (%d words)" needed
+  | Corrupt_table { fid; offset; reason } ->
+      Printf.sprintf "corrupt gc table (proc %d, code offset %d): %s" fid offset reason
+  | Bad_root { loc; value; reason } ->
+      Printf.sprintf "bad gc root at %s (value %d): %s" loc value reason
+  | Verify_failed { collection; phase; violations } ->
+      Printf.sprintf "heap verification failed %s-collection %d (%d violation%s):\n  %s"
+        phase collection (List.length violations)
+        (if List.length violations = 1 then "" else "s")
+        (String.concat "\n  " violations)
+
+exception Error of t
+
+let error t = raise (Error t)
+let fail fmt = Printf.ksprintf (fun s -> raise (Error (Generic s))) fmt

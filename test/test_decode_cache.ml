@@ -1,6 +1,6 @@
 (* The memoized pc→table decode cache must be observationally identical to
    the paper-faithful stream re-scan ({!Gcmaps.Decode.find}): same decoded
-   procedure metadata, same gc-point, same Not_found behaviour — across
+   procedure metadata, same gc-point, same Table_corrupt behaviour — across
    both table schemes and both packings, for any lookup order. *)
 
 module L = Gcmaps.Loc
@@ -123,7 +123,8 @@ let same_result (dp1, gp1) (dp2, gp2) =
 
 (* Every gc-point of every procedure, visited in random order, twice (the
    second pass hits the warm cache): the cached result must equal a fresh
-   uncached decode. Non-gc-point offsets must raise Not_found both ways. *)
+   uncached decode. Non-gc-point offsets must raise Table_corrupt both
+   ways. *)
 let prop_cache_equivalent =
   QCheck.Test.make ~name:"cached find = uncached find, all configs" ~count:60
     (QCheck.make gen_program) (fun (procs, starts) ->
@@ -151,7 +152,9 @@ let prop_cache_equivalent =
           in
           (* An offset past every gc-point of proc 0 is never mapped. *)
           let bogus = starts.(0) + procs.(0).RM.pm_code_bytes + 1 in
-          let nf f = match f () with exception Not_found -> true | _ -> false in
+          let nf f =
+            match f () with exception D.Table_corrupt _ -> true | _ -> false
+          in
           ok_points
           && nf (fun () -> D.find tables ~fid:0 ~code_offset:bogus)
           && nf (fun () -> DC.find cache ~fid:0 ~code_offset:bogus))
@@ -168,7 +171,7 @@ let with_cache_enabled enabled f =
 
 let test_disabled_defers () =
   (* With the switch off, DC.find must behave exactly like Decode.find —
-     including identical Not_found on unmapped offsets — without
+     including identical Table_corrupt on unmapped offsets — without
      materializing anything. *)
   let procs, starts =
     QCheck.Gen.generate1 ~rand:(Random.State.make [| 42 |]) gen_program

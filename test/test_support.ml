@@ -68,6 +68,29 @@ let test_varint_truncated () =
   Alcotest.check_raises "truncated" (Invalid_argument "Varint.decode: truncated encoding")
     (fun () -> ignore (Varint.decode b 0))
 
+let test_varint_extremes () =
+  (* The widest representable values take the full 9 bytes and round-trip. *)
+  check Alcotest.int "max_bytes" 9 Varint.max_bytes;
+  check Alcotest.int "min_int length" Varint.max_bytes (Varint.byte_length min_int);
+  check Alcotest.int "max_int length" Varint.max_bytes (Varint.byte_length max_int);
+  roundtrip min_int;
+  roundtrip max_int;
+  roundtrip (min_int + 1);
+  roundtrip (max_int - 1)
+
+let test_varint_overlong () =
+  (* A run of continuation bytes longer than any 63-bit value could need
+     must be rejected rather than accumulate silently (or spin). *)
+  let b = Bytes.make 12 '\x80' in
+  Alcotest.check_raises "overlong"
+    (Invalid_argument "Varint.decode: overlong encoding (> 63 bits)") (fun () ->
+      ignore (Varint.decode b 0));
+  (* Exactly at the limit, a terminated 9-byte stream still decodes. *)
+  let ok = Varint.encode_to_bytes min_int in
+  let v, pos = Varint.decode ok 0 in
+  check Alcotest.int "min_int decodes" min_int v;
+  check Alcotest.int "min_int consumed" Varint.max_bytes pos
+
 let prop_varint_roundtrip =
   QCheck.Test.make ~name:"varint roundtrip (arbitrary int)" ~count:1000
     QCheck.(frequency [ (3, small_signed_int); (2, int) ])
@@ -180,6 +203,8 @@ let () =
           Alcotest.test_case "single byte range" `Quick test_varint_single_byte;
           Alcotest.test_case "stream" `Quick test_varint_stream;
           Alcotest.test_case "truncated" `Quick test_varint_truncated;
+          Alcotest.test_case "extreme values" `Quick test_varint_extremes;
+          Alcotest.test_case "overlong rejected" `Quick test_varint_overlong;
           QCheck_alcotest.to_alcotest prop_varint_roundtrip;
           QCheck_alcotest.to_alcotest prop_varint_length_monotone;
         ] );

@@ -113,7 +113,8 @@ let test_find_by_offset () =
   check Alcotest.int "offset" 77 gp.RM.gp_offset;
   check Alcotest.int "derivs" 2 (List.length gp.RM.derivs);
   (match D.find tables ~fid:0 ~code_offset:78 with
-  | exception Not_found -> ()
+  | exception D.Table_corrupt { fid = 0; offset = 78; _ } -> ()
+  | exception D.Table_corrupt _ -> Alcotest.fail "miss must carry fid/offset context"
   | _ -> Alcotest.fail "non-gc-point offset must not resolve")
 
 let test_previous_compression_smaller () =

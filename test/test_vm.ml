@@ -145,8 +145,9 @@ let test_div_by_zero () =
     Driver.Compile.run_source
       (wrap "VAR x, y: INTEGER; BEGIN y := 0; x := 4 DIV y; PutInt(x) END")
   with
-  | exception Vm.Vm_error.Error msg ->
-      check Alcotest.bool "mentions zero" true (contains ~needle:"zero" msg)
+  | exception Vm.Vm_error.Error e ->
+      check Alcotest.bool "mentions zero" true
+        (contains ~needle:"zero" (Vm.Vm_error.to_string e))
   | _ -> Alcotest.fail "expected division fault"
 
 let test_stack_overflow () =
@@ -160,8 +161,9 @@ let test_stack_overflow () =
       ~options:{ Driver.Compile.default_options with stack_words = 2000 }
       src
   with
-  | exception Vm.Vm_error.Error msg ->
-      check Alcotest.bool "stack overflow" true (contains ~needle:"stack" msg)
+  | exception Vm.Vm_error.Error e ->
+      check Alcotest.bool "stack overflow" true
+        (contains ~needle:"stack" (Vm.Vm_error.to_string e))
   | _ -> Alcotest.fail "expected stack overflow"
 
 let test_heap_exhaustion () =
@@ -177,8 +179,9 @@ let test_heap_exhaustion () =
       ~options:{ Driver.Compile.default_options with heap_words = 100 }
       src
   with
-  | exception Vm.Vm_error.Error msg ->
-      check Alcotest.bool "heap exhausted" true (contains ~needle:"heap" msg)
+  | exception Vm.Vm_error.Error e ->
+      check Alcotest.bool "heap exhausted" true
+        (contains ~needle:"heap" (Vm.Vm_error.to_string e))
   | _ -> Alcotest.fail "expected heap exhaustion (everything is live)"
 
 let test_fuel () =
