@@ -9,7 +9,8 @@ TRACE_OUT := _build/smoke.trace.json
 FAULT_ITERS ?= 15
 FAULT_OUT := _build/fault-report.json
 
-.PHONY: all build test test-verified smoke fault check bench bench-perf clean
+.PHONY: all build test test-verified test-gen smoke fault check bench bench-perf \
+	bench-gen clean
 
 all: build
 
@@ -23,6 +24,13 @@ test: build
 # collection (pre + post) via the environment switches.
 test-verified: build
 	MM_VERIFY_HEAP=1 MM_VERIFY_PRE=1 $(DUNE) runtest --force
+
+# And again in generational mode: MM_GEN=1 flips every precise-collector
+# entry point onto the nursery collector (same images, byte-identical
+# tables), with the heap verifier — including the old→young remembered-set
+# check — armed around every minor and full collection.
+test-gen: build
+	MM_GEN=1 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
 
 smoke: build
 	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
@@ -47,6 +55,10 @@ bench: build
 # The gc hot-path before/after (decode cache off vs on); writes BENCH_2.json.
 bench-perf: build
 	$(DUNE) exec bench/main.exe -- perf
+
+# Generational vs full compaction on destroy and takl; writes BENCH_3.json.
+bench-gen: build
+	$(DUNE) exec bench/main.exe -- gen
 
 clean:
 	$(DUNE) clean

@@ -175,6 +175,31 @@ let with_telemetry f =
 
 let hist_sum name = (T.Metrics.histogram name).T.Metrics.h_sum
 
+let hist_json name =
+  let h = T.Metrics.histogram name in
+  T.Json.Obj
+    [
+      ("count", T.Json.Int h.T.Metrics.h_count);
+      ("sum", T.Json.Float h.T.Metrics.h_sum);
+      ("mean", T.Json.Float (T.Metrics.mean h));
+      ("min", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_min));
+      ("max", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_max));
+    ]
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Bench hygiene: one discarded warmup run, then the median of [reps] timed
+   runs — robust to scheduler noise and first-run cache effects where a
+   mean (or a single sample) is not. *)
+let median_wall ?(warmup = 1) ?(reps = 5) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  median (List.init reps (fun _ -> f ()))
+
 let trace_work_ns () =
   hist_sum "gc.stackwalk_ns" +. hist_sum "gc.underive_ns"
   +. hist_sum "gc.rederive_ns"
@@ -205,20 +230,18 @@ let timings () =
     (hist_sum "gc.rederive_ns" /. 1e3);
   (* The paper's differencing methodology: one run where each collection is
      preceded by a null stack trace, one without; the difference estimates
-     the trace cost. Repeated to tame variance, as they had to. *)
+     the trace cost. Warmup plus median-of-5 to tame variance, as they had
+     to. *)
   let reps = 5 in
-  let avg f =
-    let total = ref 0.0 in
-    for _ = 1 to reps do
-      let _, w = f () in
-      total := !total +. w
-    done;
-    !total /. float_of_int reps
+  let with_nt =
+    median_wall ~reps (fun () -> snd (run_destroy ~with_null_trace:true ~heap:12000))
   in
-  let with_nt = avg (fun () -> run_destroy ~with_null_trace:true ~heap:12000) in
-  let without = avg (fun () -> run_destroy ~with_null_trace:false ~heap:12000) in
+  let without =
+    median_wall ~reps (fun () -> snd (run_destroy ~with_null_trace:false ~heap:12000))
+  in
   let diff_us = (with_nt -. without) *. 1e6 /. float_of_int (max 1 n) in
-  printf "null-trace differencing      : %.1f us per collection (%d reps)\n" diff_us reps;
+  printf "null-trace differencing      : %.1f us per collection (median of %d)\n" diff_us
+    reps;
   (* Per-frame cost with deep stacks (the paper reports 27-98 us per frame;
      destroy's stacks are shallow, so also measure a recursion-heavy
      workload whose collections see ~100 frames). *)
@@ -610,17 +633,6 @@ let perf () =
   printf "replacements, heap %d words/semispace): decode cache off vs on\n\n" heap;
   let src = Programs.Destroy_src.make ~branch:4 ~depth:5 ~replace_depth:2 ~iterations:iters in
   let was_enabled = Gcmaps.Decode_cache.enabled () in
-  let hist_json name =
-    let h = T.Metrics.histogram name in
-    T.Json.Obj
-      [
-        ("count", T.Json.Int h.T.Metrics.h_count);
-        ("sum", T.Json.Float h.T.Metrics.h_sum);
-        ("mean", T.Json.Float (T.Metrics.mean h));
-        ("min", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_min));
-        ("max", T.Json.Float (if h.T.Metrics.h_count = 0 then 0.0 else h.T.Metrics.h_max));
-      ]
-  in
   let run_one ~cached =
     Gcmaps.Decode_cache.set_enabled cached;
     let snapshot = ref T.Json.Null in
@@ -731,6 +743,225 @@ let perf () =
     (match trace_path with Some p -> Printf.sprintf " and trace %s" p | None -> "")
 
 (* ------------------------------------------------------------------ *)
+(* GEN: generational vs full compaction (BENCH_3.json)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The generational trajectory target: the same source compiled identically
+   and run under the full Cheney compactor and under the nursery collector
+   (the tables must come out byte-for-byte identical — the generational
+   machinery is a pure runtime switch), reporting the minor/major pause and
+   copied-words breakdown and the write-barrier counters, plus a
+   --no-barrier-elim variant to price the static elimination pass.
+   Emits BENCH_3.json.
+
+   Environment knobs (used by the CI gen job):
+     BENCH_GEN_ITERS      destroy replacement iterations (default 400)
+     BENCH_GEN_TAKL_HEAP  takl semispace words (default 3000)
+     BENCH_GEN_OUT        output JSON path (default BENCH_3.json) *)
+
+type gen_run = {
+  gr_snap : T.Json.t;
+  gr_out : string;
+  gr_table_bytes : int;
+  gr_mean_pause : float; (* gc.pause_ns mean: all collections of the run *)
+  gr_mean_words : float; (* gc.words_copied mean *)
+  gr_mean_minor_pause : float;
+  gr_mean_minor_words : float;
+  gr_minors : int;
+  gr_static_barriers : int;
+  gr_static_elided : int;
+}
+
+let gen_bench () =
+  hr ();
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_GEN_ITERS" 400 in
+  let out_path = Option.value ~default:"BENCH_3.json" (Sys.getenv_opt "BENCH_GEN_OUT") in
+  printf "GEN: generational collection vs full compaction (warmup + median of 5)\n\n";
+  let progs =
+    [
+      ( "destroy",
+        Programs.Destroy_src.make ~branch:4 ~depth:5 ~replace_depth:2 ~iterations:iters,
+        12000 );
+      ( "takl",
+        Programs.Takl_src.make ~n1:14 ~n2:10 ~n3:4
+          ~repeats:(getenv_int "BENCH_GEN_TAKL_REPEATS" 60)
+          ~ballast:(getenv_int "BENCH_GEN_TAKL_BALLAST" 100),
+        getenv_int "BENCH_GEN_TAKL_HEAP" 1200 );
+    ]
+  in
+  let run_mode ~src ~heap ~gen ~elim =
+    let options =
+      {
+        Driver.Compile.default_options with
+        optimize = true;
+        barrier_elim = elim;
+        heap_words = heap;
+      }
+    in
+    (* Compile inside telemetry so the elimination-pass counters record. *)
+    let img = ref None in
+    let elim_seen = ref 0 and elim_elided = ref 0 in
+    with_telemetry (fun () ->
+        img := Some (Driver.Compile.compile ~options src);
+        elim_seen := T.Metrics.counter_value "barrier_elim.stores_seen";
+        elim_elided := T.Metrics.counter_value "barrier_elim.stores_elided");
+    let img = Option.get !img in
+    let fresh () =
+      let st = Vm.Interp.create img in
+      if gen then Gc.Nursery.install st else Gc.Cheney.install st;
+      st
+    in
+    (* Wall clock with telemetry off: one warmup, then the median of 5. *)
+    let wall =
+      median_wall (fun () ->
+          let st = fresh () in
+          let t0 = Unix.gettimeofday () in
+          Vm.Interp.run st;
+          Unix.gettimeofday () -. t0)
+    in
+    (* One instrumented run for the collector counters and histograms. *)
+    let result = ref None in
+    with_telemetry (fun () ->
+        let st = fresh () in
+        Vm.Interp.run st;
+        let c = T.Metrics.counter_value in
+        let mean name = T.Metrics.mean (T.Metrics.histogram name) in
+        let snap =
+          T.Json.Obj
+            [
+              ("generational", T.Json.Bool gen);
+              ("barrier_elim", T.Json.Bool elim);
+              ("wall_s_median", T.Json.Float wall);
+              ("table_bytes", T.Json.Int (E.total_table_bytes img.Vm.Image.tables));
+              ("collections", T.Json.Int (c "gc.collections"));
+              ("minor_collections", T.Json.Int (c "gc.minor_collections"));
+              ("major_collections", T.Json.Int (c "gc.major_collections"));
+              ("pause_ns", hist_json "gc.pause_ns");
+              ("minor_pause_ns", hist_json "gc.minor_pause_ns");
+              ("major_pause_ns", hist_json "gc.major_pause_ns");
+              ("words_copied", hist_json "gc.words_copied");
+              ("minor_words", hist_json "gc.minor_words");
+              ("major_words", hist_json "gc.major_words");
+              ("remset_roots", hist_json "gc.remset_roots");
+              ( "barriers",
+                T.Json.Obj
+                  [
+                    ("static_emitted", T.Json.Int img.Vm.Image.barriers);
+                    ("static_elided", T.Json.Int img.Vm.Image.barriers_elided);
+                    ("stores_seen", T.Json.Int !elim_seen);
+                    ("stores_elided", T.Json.Int !elim_elided);
+                    ("executed", T.Json.Int (c "gc.barrier_execs"));
+                    ("remset_inserts", T.Json.Int (c "gc.remset_inserts"));
+                  ] );
+            ]
+        in
+        result :=
+          Some
+            {
+              gr_snap = snap;
+              gr_out = Vm.Interp.output st;
+              gr_table_bytes = E.total_table_bytes img.Vm.Image.tables;
+              gr_mean_pause = mean "gc.pause_ns";
+              gr_mean_words = mean "gc.words_copied";
+              gr_mean_minor_pause = mean "gc.minor_pause_ns";
+              gr_mean_minor_words = mean "gc.minor_words";
+              gr_minors = c "gc.minor_collections";
+              gr_static_barriers = img.Vm.Image.barriers;
+              gr_static_elided = img.Vm.Image.barriers_elided;
+            });
+    Option.get !result
+  in
+  let per_prog =
+    List.map
+      (fun (name, src, heap) ->
+        printf "%s (heap %d words/semispace):\n" name heap;
+        let full = run_mode ~src ~heap ~gen:false ~elim:true in
+        let g = run_mode ~src ~heap ~gen:true ~elim:true in
+        let noelim = run_mode ~src ~heap ~gen:true ~elim:false in
+        if full.gr_out <> g.gr_out || full.gr_out <> noelim.gr_out then
+          printf "  !! OUTPUT MISMATCH between modes\n";
+        let tables_identical = full.gr_table_bytes = g.gr_table_bytes in
+        let minor_below =
+          g.gr_minors > 0
+          && g.gr_mean_minor_pause < full.gr_mean_pause
+          && g.gr_mean_minor_words < full.gr_mean_words
+        in
+        printf "  full : mean pause %8.1f us, mean %7.0f words copied/collection\n"
+          (full.gr_mean_pause /. 1e3) full.gr_mean_words;
+        printf "  minor: mean pause %8.1f us, mean %7.0f words promoted/minor (%d minors)\n"
+          (g.gr_mean_minor_pause /. 1e3) g.gr_mean_minor_words g.gr_minors;
+        if full.gr_mean_pause > 0.0 then
+          printf "  minor/full ratio: pause %.2fx, words %.2fx%s\n"
+            (g.gr_mean_minor_pause /. full.gr_mean_pause)
+            (g.gr_mean_minor_words /. full.gr_mean_words)
+            (if minor_below then "  (minor < full: ok)"
+             else "  (!! minor not below full)");
+        let total = g.gr_static_barriers + g.gr_static_elided in
+        if total > 0 then
+          printf "  barrier elim: %d of %d pointer stores barrier-free (%.1f%%)\n"
+            g.gr_static_elided total
+            (100.0 *. float_of_int g.gr_static_elided /. float_of_int total);
+        printf "  tables: %d bytes gen, %d bytes full%s\n" g.gr_table_bytes
+          full.gr_table_bytes
+          (if tables_identical then " (byte-identical)" else " (!! DIFFER)");
+        printf "\n";
+        ( name,
+          T.Json.Obj
+            [
+              ("heap_words", T.Json.Int heap);
+              ("full", full.gr_snap);
+              ("gen", g.gr_snap);
+              ("gen_no_barrier_elim", noelim.gr_snap);
+              ( "outputs_match",
+                T.Json.Bool (full.gr_out = g.gr_out && full.gr_out = noelim.gr_out) );
+              ("tables_identical", T.Json.Bool tables_identical);
+              ( "minor_vs_full",
+                T.Json.Obj
+                  [
+                    ( "pause_ratio",
+                      T.Json.Float
+                        (if full.gr_mean_pause > 0.0 then
+                           g.gr_mean_minor_pause /. full.gr_mean_pause
+                         else 0.0) );
+                    ( "words_ratio",
+                      T.Json.Float
+                        (if full.gr_mean_words > 0.0 then
+                           g.gr_mean_minor_words /. full.gr_mean_words
+                         else 0.0) );
+                    ("minor_below_full", T.Json.Bool minor_below);
+                  ] );
+            ] ))
+      progs
+  in
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "generational_vs_full");
+        ( "params",
+          T.Json.Obj
+            [
+              ("destroy_iterations", T.Json.Int iters);
+              ("optimize", T.Json.Bool true);
+              ("warmup", T.Json.Int 1);
+              ("reps", T.Json.Int 5);
+              ( "clock_granularity_ns",
+                T.Json.Int (Int64.to_int (T.Control.granularity_ns ())) );
+            ] );
+        ("programs", T.Json.Obj per_prog);
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -766,6 +997,7 @@ let () =
           | "loops" -> loops ()
           | "decode" -> decode_bench ()
           | "perf" -> perf ()
+          | "gen" -> gen_bench ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

@@ -23,10 +23,12 @@ let print_gc_stats () =
   let samples name = T.Metrics.samples (T.Metrics.histogram name) in
   let pauses = samples "gc.pause_ns" in
   let n = Array.length pauses in
+  let minors = T.Metrics.counter_value "gc.minor_collections" in
   Printf.eprintf "collections  : %d\n" (T.Metrics.counter_value "gc.collections");
   if n > 0 then begin
-    Printf.eprintf "%4s %10s %9s %10s %9s %10s %8s %8s %7s\n" "#" "pause us"
-      "walk us" "underiv us" "copy us" "rederiv us" "words" "objects" "frames";
+    Printf.eprintf "%4s %4s %10s %9s %10s %9s %10s %8s %8s %7s\n" "#" "kind"
+      "pause us" "walk us" "underiv us" "copy us" "rederiv us" "words" "objects"
+      "frames";
     let walk = samples "gc.stackwalk_ns" in
     let underive = samples "gc.underive_ns" in
     let copy = samples "gc.copy_ns" in
@@ -34,6 +36,7 @@ let print_gc_stats () =
     let words = samples "gc.words_copied" in
     let objects = samples "gc.objects_copied" in
     let frames = samples "gc.frames" in
+    let is_minor = samples "gc.is_minor" in
     let us arr i =
       if i < Array.length arr then Printf.sprintf "%.1f" (arr.(i) /. 1e3) else "-"
     in
@@ -41,11 +44,37 @@ let print_gc_stats () =
       if i < Array.length arr then Printf.sprintf "%.0f" arr.(i) else "-"
     in
     for i = 0 to n - 1 do
-      Printf.eprintf "%4d %10s %9s %10s %9s %10s %8s %8s %7s\n" (i + 1)
+      let kind =
+        if i < Array.length is_minor then
+          if is_minor.(i) = 1.0 then "min" else "maj"
+        else "-"
+      in
+      Printf.eprintf "%4d %4s %10s %9s %10s %9s %10s %8s %8s %7s\n" (i + 1) kind
         (us pauses i) (us walk i) (us underive i) (us copy i) (us rederive i)
         (int_of words i) (int_of objects i) (int_of frames i)
     done
   end;
+  if minors > 0 then begin
+    let h name = T.Metrics.histogram name in
+    let minor_pause = h "gc.minor_pause_ns" and major_pause = h "gc.major_pause_ns" in
+    Printf.eprintf
+      "minor/major  : %d minor (mean %.1f us, %.0f words promoted), %d major (mean \
+       %.1f us, %.0f words copied)\n"
+      minors
+      (T.Metrics.mean minor_pause /. 1e3)
+      (h "gc.minor_words").T.Metrics.h_sum
+      (T.Metrics.counter_value "gc.major_collections")
+      (T.Metrics.mean major_pause /. 1e3)
+      (h "gc.major_words").T.Metrics.h_sum;
+    Printf.eprintf "write barrier: %d executed, %d remembered-set inserts\n"
+      (T.Metrics.counter_value "gc.barrier_execs")
+      (T.Metrics.counter_value "gc.remset_inserts")
+  end;
+  let elim_seen = T.Metrics.counter_value "barrier_elim.stores_seen" in
+  if elim_seen > 0 then
+    Printf.eprintf "barrier elim : %d of %d pointer stores statically barrier-free\n"
+      (T.Metrics.counter_value "barrier_elim.stores_elided")
+      elim_seen;
   let hist_sum name = (T.Metrics.histogram name).T.Metrics.h_sum in
   Printf.eprintf "instructions : %d\n" (T.Metrics.counter_value "vm.instructions");
   Printf.eprintf "allocations  : %d (%d words)\n"
@@ -69,8 +98,8 @@ let print_gc_stats () =
     (hist_sum "gc.stackwalk_ns" /. 1e3)
     ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
 
-let run file optimize checks no_gc_restrict heap stack collector gc_stats trace metrics
-    no_decode_cache verify_heap verify_pre fuel =
+let run file optimize checks no_gc_restrict heap stack collector gen nursery
+    no_barrier_elim gc_stats trace metrics no_decode_cache verify_heap verify_pre fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   if verify_heap then Gc.Verify.set_post true;
   if verify_pre then Gc.Verify.set_pre true;
@@ -80,20 +109,25 @@ let run file optimize checks no_gc_restrict heap stack collector gc_stats trace 
       optimize;
       checks;
       gc_restrict = not no_gc_restrict;
+      barrier_elim = not no_barrier_elim;
       heap_words = heap;
       stack_words = stack;
     }
   in
   let collector =
     match collector with
-    | "precise" -> Driver.Compile.Precise
+    | "precise" -> if gen then Driver.Compile.Generational else Driver.Compile.Precise
+    | "generational" | "gen" -> Driver.Compile.Generational
     | "conservative" -> Driver.Compile.Conservative
     | "none" -> Driver.Compile.No_gc
     | other -> failwith ("unknown collector " ^ other)
   in
   if gc_stats || metrics || trace <> None then T.Control.enable ();
   try
-    let r = Driver.Compile.run_source ~options ~collector ~fuel (read_file file) in
+    let r =
+      Driver.Compile.run_source ~options ~collector ?nursery_words:nursery ~fuel
+        (read_file file)
+    in
     print_string r.Driver.Compile.output;
     (match trace with
     | Some path -> T.Trace.write_chrome_file path
@@ -132,7 +166,31 @@ let collector =
   Arg.(
     value
     & opt string "precise"
-    & info [ "collector" ] ~doc:"precise | conservative | none.")
+    & info [ "collector" ] ~doc:"precise | generational | conservative | none.")
+let gen =
+  Arg.(
+    value & flag
+    & info [ "gen" ]
+        ~doc:
+          "Generational mode: nursery allocation, minor collections through the \
+           same gc-point tables plus the remembered set, full compaction as \
+           fallback. Same image, byte-identical tables. Shorthand for \
+           --collector generational; also enabled by MM_GEN=1.")
+let nursery =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "nursery" ] ~docv:"WORDS"
+        ~doc:
+          "Nursery size in words for generational mode (default: a quarter \
+           semispace, floored at 300 words).")
+let no_barrier_elim =
+  Arg.(
+    value & flag
+    & info [ "no-barrier-elim" ]
+        ~doc:
+          "Disable the static write-barrier elimination pass (keep every \
+           compiler-emitted barrier).")
 let gc_stats =
   Arg.(
     value & flag
@@ -176,6 +234,7 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gc_stats $ trace $ metrics $ no_decode_cache $ verify_heap $ verify_pre $ fuel))
+       $ gen $ nursery $ no_barrier_elim $ gc_stats $ trace $ metrics $ no_decode_cache
+       $ verify_heap $ verify_pre $ fuel))
 
 let () = exit (Cmd.eval cmd)

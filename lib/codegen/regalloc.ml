@@ -78,7 +78,7 @@ let allocate (f : Ir.func) (liv : Mir.Liveness.t) : t =
               args
         | Ir.Mov _ | Ir.Bin _ | Ir.Neg _ | Ir.Abs _ | Ir.Setrel _ | Ir.Ld_local _
         | Ir.St_local _ | Ir.Ld_global _ | Ir.St_global _ | Ir.Lda_local _
-        | Ir.Lda_global _ | Ir.Lda_text _ | Ir.Load _ | Ir.Store _ -> ())
+        | Ir.Lda_global _ | Ir.Lda_text _ | Ir.Load _ | Ir.Store _ | Ir.Store_nb _ -> ())
       blk.Ir.instrs;
     (* Terminator uses. *)
     let pterm = base.(b) + List.length blk.Ir.instrs in

@@ -24,6 +24,8 @@ type out_func = {
   of_gcpoints : raw_gcpoint list;
   of_folds_suppressed : int;
   of_folds_applied : int;
+  of_barriers : int; (* generational write barriers emitted *)
+  of_barriers_elided : int; (* pointer stores compiled barrier-free (Barrier_elim) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -73,6 +75,8 @@ type st = {
   mutable gcpoints : raw_gcpoint list;
   mutable folds_suppressed : int;
   mutable folds_applied : int;
+  mutable barriers : int;
+  mutable barriers_elided : int;
   global_addr : int -> int; (* global index -> absolute word address *)
   text_addr : int -> int;
 }
@@ -103,6 +107,25 @@ let temp_dst st t : I.operand * (unit -> unit) =
             (I.Mov (I.Mem (Machine.Reg.fp, Frame.spill_off st.fr s), I.Reg Machine.Reg.scratch0)) )
 
 let local_mem st l o = I.Mem (Machine.Reg.fp, Frame.local_off st.fr l + o)
+
+(* A heap store needs a generational write barrier iff the stored value may
+   be a tidy heap pointer (or derived from one) — NIL/immediates, scalars
+   and never-moving stack/static addresses cannot create old→young
+   references. Stores through a [Kstack] address target a frame or global
+   word, which the minor collection treats as a root, so they need no
+   barrier either. *)
+let store_needs_barrier st (a : Ir.operand) (v : Ir.operand) =
+  (match a with
+  | Ir.Otemp ta -> (
+      match Ir.temp_kind st.f ta with Ir.Kstack -> false | _ -> true)
+  | Ir.Oimm _ -> true)
+  &&
+  match v with
+  | Ir.Oimm _ -> false
+  | Ir.Otemp tv -> (
+      match Ir.temp_kind st.f tv with
+      | Ir.Kptr | Ir.Kderived _ -> true
+      | Ir.Kscalar | Ir.Kstack -> false)
 
 (* ------------------------------------------------------------------ *)
 (* GC info at a call                                                   *)
@@ -238,11 +261,14 @@ let record_gcpoint st ~block ~instr_idx ~(args : Ir.operand list) ~call_item =
    folds to  t2 := lea Defer(ra, k1, k2). Both require the intermediate to
    be single-use; with gc restrictions the intermediate must additionally
    not be a derivation base (paper §4). *)
+type wbar_action = Wb_emit | Wb_elided | Wb_none
+
 type fold =
   | Fold_defer_load of Ir.temp * int * int * int (* dst, base local, d1, d2 *)
   | Fold_defer_lea of Ir.temp * Ir.temp * int * int (* dst, addr temp, d1, d2 *)
   | Fold_mem2_load of Ir.temp * Ir.temp * Ir.temp * int (* dst, r1, r2, disp *)
-  | Fold_mem2_store of Ir.temp * Ir.temp * int * Ir.operand (* r1, r2, disp, value *)
+  | Fold_mem2_store of Ir.temp * Ir.temp * int * Ir.operand * wbar_action
+    (* r1, r2, disp, value, barrier decision of the folded store *)
 
 let try_fold st i1 i2 =
   let ok_intermediate t =
@@ -274,7 +300,8 @@ let try_fold st i1 i2 =
   | Ir.Bin (Ir.Add, t3, Ir.Otemp t1, Ir.Otemp t2), Ir.Load (x, Ir.Otemp t3', d)
     when t3 = t3' && ok_intermediate t3 ->
       Some (Fold_mem2_load (x, t1, t2, d))
-  | Ir.Bin (Ir.Add, t3, Ir.Otemp t1, Ir.Otemp t2), Ir.Store (Ir.Otemp t3', d, v)
+  | ( Ir.Bin (Ir.Add, t3, Ir.Otemp t1, Ir.Otemp t2),
+      (Ir.Store (Ir.Otemp t3', d, v) | Ir.Store_nb (Ir.Otemp t3', d, v)) )
     when t3 = t3' && ok_intermediate t3
          && (* both scratch registers may be needed for the two index
                reloads, so the stored value must not need a third *)
@@ -284,7 +311,11 @@ let try_fold st i1 i2 =
              match st.ra.Regalloc.assign.(tv) with
              | Regalloc.Areg _ -> true
              | Regalloc.Aspill _ -> false)) ->
-      Some (Fold_mem2_store (t1, t2, d, v))
+      let wb =
+        if not (store_needs_barrier st (Ir.Otemp t3') v) then Wb_none
+        else match i2 with Ir.Store_nb _ -> Wb_elided | _ -> Wb_emit
+      in
+      Some (Fold_mem2_store (t1, t2, d, v, wb))
   | _ -> None
 
 let select_instr st ~block ~instr_idx (instr : Ir.instr) : unit =
@@ -355,7 +386,18 @@ let select_instr st ~block ~instr_idx (instr : Ir.instr) : unit =
       let sa = operand_src st ~scratch:Machine.Reg.scratch0 a in
       let ra = (match sa with I.Reg r -> r | _ -> failwith "Select: store address not in register") in
       let sv = operand_src st ~scratch:Machine.Reg.scratch1 v in
-      emit st (I.Mov (I.Mem (ra, o), sv))
+      emit st (I.Mov (I.Mem (ra, o), sv));
+      if store_needs_barrier st a v then begin
+        emit st (I.Wbar (I.Mem (ra, o)));
+        st.barriers <- st.barriers + 1
+      end
+  | Ir.Store_nb (a, o, v) ->
+      let sa = operand_src st ~scratch:Machine.Reg.scratch0 a in
+      let ra = (match sa with I.Reg r -> r | _ -> failwith "Select: store address not in register") in
+      let sv = operand_src st ~scratch:Machine.Reg.scratch1 v in
+      emit st (I.Mov (I.Mem (ra, o), sv));
+      if store_needs_barrier st a v then
+        st.barriers_elided <- st.barriers_elided + 1
   | Ir.Call (dst, callee, args) ->
       (* Push arguments right to left so argument 0 lands lowest. *)
       List.iter
@@ -435,6 +477,8 @@ let func ~(prog : Ir.program) (opts : options)
       gcpoints = [];
       folds_suppressed = 0;
       folds_applied = 0;
+      barriers = 0;
+      barriers_elided = 0;
       global_addr;
       text_addr;
     }
@@ -473,7 +517,7 @@ let func ~(prog : Ir.program) (opts : options)
             emit st (I.Mov (dst, I.Mem2 (r1, r2, d)));
             fin ();
             i := !i + 2
-        | Some (Fold_mem2_store (t1, t2, d, v)) ->
+        | Some (Fold_mem2_store (t1, t2, d, v, wb)) ->
             st.folds_applied <- st.folds_applied + 1;
             let r1 =
               match temp_src st ~scratch:Machine.Reg.scratch0 t1 with
@@ -487,6 +531,12 @@ let func ~(prog : Ir.program) (opts : options)
             in
             let sv = operand_src st v in
             emit st (I.Mov (I.Mem2 (r1, r2, d), sv));
+            (match wb with
+            | Wb_emit ->
+                emit st (I.Wbar (I.Mem2 (r1, r2, d)));
+                st.barriers <- st.barriers + 1
+            | Wb_elided -> st.barriers_elided <- st.barriers_elided + 1
+            | Wb_none -> ());
             i := !i + 2
         | Some (Fold_defer_lea (taddr, ra, k1, k2)) ->
             st.folds_applied <- st.folds_applied + 1;
@@ -534,4 +584,6 @@ let func ~(prog : Ir.program) (opts : options)
     of_gcpoints = List.rev st.gcpoints;
     of_folds_suppressed = st.folds_suppressed;
     of_folds_applied = st.folds_applied;
+    of_barriers = st.barriers;
+    of_barriers_elided = st.barriers_elided;
   }

@@ -38,6 +38,8 @@ type out_func = {
   of_gcpoints : raw_gcpoint list; (* in code order *)
   of_folds_suppressed : int; (* §6.2: folds blocked by gc restrictions *)
   of_folds_applied : int;
+  of_barriers : int; (* generational write barriers emitted *)
+  of_barriers_elided : int; (* pointer stores proven barrier-free *)
 }
 
 val func :

@@ -7,6 +7,7 @@ type options = {
   gc_restrict : bool; (* §6.2: off reproduces "without gc restrictions" *)
   noalloc_analysis : bool; (* calls to never-allocating procs are not gc-points *)
   loop_gcpoints : bool; (* §5.3: guarantee a gc-point in every loop *)
+  barrier_elim : bool; (* drop write barriers on provably nursery-bound stores *)
   heap_words : int;
   stack_words : int;
   scheme : Gcmaps.Encode.scheme;
@@ -20,6 +21,7 @@ let default_options =
     gc_restrict = true;
     noalloc_analysis = false;
     loop_gcpoints = false;
+    barrier_elim = true;
     heap_words = 65536;
     stack_words = 16384;
     scheme = Gcmaps.Encode.Delta_main;
@@ -40,6 +42,11 @@ let to_mir ?(options = default_options) (source : string) : Mir.Ir.program =
   if options.loop_gcpoints then
     ignore (T.Timer.time ~cat:"compile" "opt.loop_gcpoints" (fun () ->
         Opt.Loop_gcpoints.run prog));
+  (* Must run after every pass that can insert gc-points: a gc-point the
+     analysis did not see would make an elimination unsound. *)
+  if options.barrier_elim then
+    T.Timer.time ~cat:"compile" "opt.barrier_elim" (fun () ->
+        Opt.Barrier_elim.run prog);
   prog
 
 let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image.t =
@@ -63,7 +70,7 @@ let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image
 let compile ?(options = default_options) (source : string) : Vm.Image.t =
   image_of_mir ~options (to_mir ~options source)
 
-type collector = Precise | Conservative | No_gc
+type collector = Precise | Generational | Conservative | No_gc
 
 type run_result = {
   output : string;
@@ -74,7 +81,8 @@ type run_result = {
   gc : Vm.Interp.gc_stats;
 }
 
-let run ?(collector = Precise) ?(fuel = 200_000_000) (image : Vm.Image.t) : run_result =
+let run ?(collector = Precise) ?nursery_words ?(fuel = 200_000_000) (image : Vm.Image.t) :
+    run_result =
   (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
      live pointers in forms the tables cannot describe; collecting while it
      runs can corrupt the heap. Warn whenever such output is executed under
@@ -84,8 +92,19 @@ let run ?(collector = Precise) ?(fuel = 200_000_000) (image : Vm.Image.t) : run_
       "executing --no-gc-restrict output with a collector installed: code is \
        not gc-safe by construction; a collection may corrupt the heap";
   let st = Vm.Interp.create image in
+  let nursery_words =
+    match nursery_words with
+    | Some _ as w -> w
+    | None -> Gc.Nursery.env_nursery_words ()
+  in
   (match collector with
-  | Precise -> Gc.Cheney.install st
+  | Precise ->
+      (* MM_GEN flips every precise-collector entry point — the whole test
+         suite, the benches, the CLIs — into generational mode without new
+         plumbing, on the very same image. *)
+      if Gc.Nursery.env_enabled () then Gc.Nursery.install ?nursery_words st
+      else Gc.Cheney.install st
+  | Generational -> Gc.Nursery.install ?nursery_words st
   | Conservative -> ignore (Gc.Conservative.install st)
   | No_gc -> ());
   Vm.Interp.run ~fuel st;
@@ -99,5 +118,5 @@ let run ?(collector = Precise) ?(fuel = 200_000_000) (image : Vm.Image.t) : run_
   }
 
 (** Compile and run in one step (tests and examples). *)
-let run_source ?(options = default_options) ?collector ?fuel source =
-  run ?collector ?fuel (compile ~options source)
+let run_source ?(options = default_options) ?collector ?nursery_words ?fuel source =
+  run ?collector ?nursery_words ?fuel (compile ~options source)

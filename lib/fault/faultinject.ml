@@ -191,7 +191,10 @@ let with_tables (img : Vm.Image.t) (tables : E.program_tables) : Vm.Image.t =
 
 let run_mutated ~(reference : string) ~fuel (img : Vm.Image.t) : outcome =
   let st = Vm.Interp.create img in
-  Gc.Cheney.install st;
+  (* Honor MM_GEN like every precise-collector entry point: the CI gen job
+     re-runs the whole sweep with the nursery collector (and its
+     old→young verifier check) decoding the mutated tables. *)
+  if Gc.Nursery.env_enabled () then Gc.Nursery.install st else Gc.Cheney.install st;
   match Vm.Interp.run ~fuel st with
   | () -> if Vm.Interp.output st = reference then Benign else Diverged
   | exception Vm.Vm_error.Error e -> (

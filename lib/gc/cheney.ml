@@ -18,10 +18,11 @@
 module RM = Gcmaps.Rawmaps
 module T = Telemetry
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = T.Control.now_ns
 
 (* Telemetry handles (stable across Metrics.reset). *)
 let c_collections = T.Metrics.counter "gc.collections"
+let c_major = T.Metrics.counter "gc.major_collections"
 let c_objects = T.Metrics.counter "gc.objects_forwarded"
 let h_pause = T.Metrics.histogram "gc.pause_ns"
 let h_stackwalk = T.Metrics.histogram "gc.stackwalk_ns"
@@ -32,18 +33,30 @@ let h_roots = T.Metrics.histogram "gc.forward_roots_ns"
 let h_words = T.Metrics.histogram "gc.words_copied"
 let h_objects = T.Metrics.histogram "gc.objects_copied"
 let h_frames = T.Metrics.histogram "gc.frames"
+let h_major_pause = T.Metrics.histogram "gc.major_pause_ns"
+let h_major_words = T.Metrics.histogram "gc.major_words"
+let h_is_minor = T.Metrics.histogram "gc.is_minor"
 
+(* The copier is parametric in its source and destination regions so the
+   same forwarding and scanning machinery serves both a full collection
+   (source = from-space, destination = to-space) and a minor one (source =
+   the nursery, destination = the old-generation frontier within the same
+   semispace — see {!Nursery}). *)
 type copier = {
   st : Vm.Interp.t;
-  mutable to_lo : int; (* current to-space bounds *)
+  src_lo : int; (* objects in [src_lo, src_hi) are evacuated *)
+  src_hi : int;
+  dst_lo : int; (* evacuation region bounds *)
+  dst_hi : int;
   mutable to_alloc : int;
 }
 
-let in_from c v =
-  v >= c.st.Vm.Interp.from_base
-  && v < c.st.Vm.Interp.from_base + c.st.Vm.Interp.image.Vm.Image.semi_words
+let in_from c v = v >= c.src_lo && v < c.src_hi
 
-let in_to c v = v >= c.to_lo && v < c.to_lo + c.st.Vm.Interp.image.Vm.Image.semi_words
+(* A header inside [dst_lo, to_alloc) is a forwarding pointer: forwarding
+   pointers are the only header-position values that can land there, and
+   the test is tighter than the old whole-semispace check. *)
+let in_to c v = v >= c.dst_lo && v < c.to_alloc
 
 (** Forward a tidy pointer: copy its object to to-space if not already
     copied; pointers outside from-space (NIL, globals, static text, stack
@@ -76,10 +89,10 @@ let forward c v =
          happens to land on a plausible header) can claim any extent, and
          Array.blit would either throw a bare Invalid_argument or, worse,
          copy half the heap. *)
-      if v + size > c.st.Vm.Interp.from_base + c.st.Vm.Interp.image.Vm.Image.semi_words then
-        bad_root c v (Printf.sprintf "object of %d words overruns from-space" size);
-      if c.to_alloc + size > c.to_lo + c.st.Vm.Interp.image.Vm.Image.semi_words then
-        bad_root c v (Printf.sprintf "object of %d words overruns to-space" size);
+      if v + size > c.src_hi then
+        bad_root c v (Printf.sprintf "object of %d words overruns its source region" size);
+      if c.to_alloc + size > c.dst_hi then
+        bad_root c v (Printf.sprintf "object of %d words overruns its destination region" size);
       let dst = c.to_alloc in
       Array.blit c.st.Vm.Interp.mem v c.st.Vm.Interp.mem dst size;
       c.to_alloc <- dst + size;
@@ -167,7 +180,17 @@ let collect (st : Vm.Interp.t) ~needed =
   in
   (* --- copy phase --- *)
   T.Trace.begin_span ~cat:"gc" "gc.copy";
-  let c = { st; to_lo = st.Vm.Interp.to_base; to_alloc = st.Vm.Interp.to_base } in
+  let semi = st.Vm.Interp.image.Vm.Image.semi_words in
+  let c =
+    {
+      st;
+      src_lo = st.Vm.Interp.from_base;
+      src_hi = st.Vm.Interp.from_base + semi;
+      dst_lo = st.Vm.Interp.to_base;
+      dst_hi = st.Vm.Interp.to_base + semi;
+      to_alloc = st.Vm.Interp.to_base;
+    }
+  in
   (* Global roots. *)
   List.iter
     (fun a -> st.Vm.Interp.mem.(a) <- forward c st.Vm.Interp.mem.(a))
@@ -179,7 +202,7 @@ let collect (st : Vm.Interp.t) ~needed =
   let t_roots1 = now_ns () in
   T.Trace.end_span ();
   (* Cheney scan. *)
-  let scan = ref c.to_lo in
+  let scan = ref c.dst_lo in
   while !scan < c.to_alloc do
     scan := scan_object c !scan
   done;
@@ -195,6 +218,10 @@ let collect (st : Vm.Interp.t) ~needed =
   st.Vm.Interp.from_base <- st.Vm.Interp.to_base;
   st.Vm.Interp.to_base <- old_from;
   st.Vm.Interp.alloc <- c.to_alloc;
+  (* In generational mode the survivors become the new (empty-nursery) old
+     generation and the remembered set is void; reset before the post-pass
+     so the verifier sees a consistent generational view. *)
+  Vm.Interp.gen_reset_after_full st;
   let words = c.to_alloc - st.Vm.Interp.from_base in
   gcs.Vm.Interp.words_copied <- gcs.Vm.Interp.words_copied + words;
   let t_end = now_ns () in
@@ -215,7 +242,11 @@ let collect (st : Vm.Interp.t) ~needed =
     T.Metrics.observe_ns h_rederive (sub t_red1 t_red0);
     T.Metrics.observe h_words (float_of_int words);
     T.Metrics.observe h_objects (float_of_int (gcs.Vm.Interp.objects_copied - objects0));
-    T.Metrics.observe h_frames (float_of_int (List.length frames))
+    T.Metrics.observe h_frames (float_of_int (List.length frames));
+    T.Metrics.incr c_major;
+    T.Metrics.observe_ns h_major_pause (sub t_end t_start);
+    T.Metrics.observe h_major_words (float_of_int words);
+    T.Metrics.observe h_is_minor 0.0
   end;
   (* Post-pass, after the flip so it sees exactly the heap the mutator is
      about to resume on. *)

@@ -12,6 +12,32 @@
     locating and decoding tables, walking frames, adjusting and re-deriving
     derived values, and updating stack/register roots. *)
 
+(** Region-parametric copying machinery, shared with {!Nursery}: a full
+    collection evacuates from-space into to-space, a minor collection
+    evacuates the nursery onto the old-generation frontier of the same
+    semispace. *)
+type copier = {
+  st : Vm.Interp.t;
+  src_lo : int; (* objects in [src_lo, src_hi) are evacuated *)
+  src_hi : int;
+  dst_lo : int; (* evacuation region bounds *)
+  dst_hi : int;
+  mutable to_alloc : int;
+}
+
+val forward : copier -> int -> int
+(** Forward a tidy pointer: copy its object to the destination region if
+    not already copied; values outside [src_lo, src_hi) are returned
+    unchanged. *)
+
+val scan_object : copier -> int -> int
+(** Forward every pointer field of the object at the given address (using
+    the image's precomputed layouts); returns the address one past it. *)
+
+val forward_frame_roots : copier -> Stackwalk.frame -> unit
+(** Forward the tidy stack-slot and register roots of one frame through
+    the gc-point tables. *)
+
 val collect : Vm.Interp.t -> needed:int -> unit
 (** Run one collection: walk, adjust, copy, re-derive, flip. Installed as
     the interpreter's collector by {!install}.

@@ -1,0 +1,34 @@
+(** The remembered set, as seen by the collectors.
+
+    The mutator side lives in {!Vm.Interp}: the compiler-emitted [Wbar]
+    instruction records the exact address of an old-generation slot the
+    moment a pointer is stored into it, deduplicated through a per-word
+    dirty byte (a sequential-store-buffer with exact-slot precision, rather
+    than card granularity — the heap is word-addressed, so the exactness is
+    free). This module is the collector-side view: iterate the recorded
+    slots as extra roots of a minor collection, and drop entries once the
+    nursery they pointed into has been evacuated. *)
+
+type t = Vm.Interp.gen_state
+
+let length (g : t) = g.Vm.Interp.remset_len
+
+(** Apply [f] to every recorded old-generation slot address. *)
+let iter (f : int -> unit) (g : t) =
+  for i = 0 to g.Vm.Interp.remset_len - 1 do
+    f g.Vm.Interp.remset.(i)
+  done
+
+(** True when the slot address has been recorded since the last clear. *)
+let mem (st : Vm.Interp.t) (g : t) addr =
+  Bytes.get g.Vm.Interp.dirty (addr - st.Vm.Interp.image.Vm.Image.heap_base) <> '\000'
+
+(** Empty the set, resetting the dirty map entries it covers. After a
+    minor collection the nursery is empty, so no old→young references
+    exist and every recorded slot is stale. *)
+let clear (st : Vm.Interp.t) (g : t) =
+  let hb = st.Vm.Interp.image.Vm.Image.heap_base in
+  for i = 0 to g.Vm.Interp.remset_len - 1 do
+    Bytes.set g.Vm.Interp.dirty (g.Vm.Interp.remset.(i) - hb) '\000'
+  done;
+  g.Vm.Interp.remset_len <- 0

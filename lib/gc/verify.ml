@@ -93,7 +93,21 @@ let heap_hi (st : Vm.Interp.t) =
   st.Vm.Interp.image.Vm.Image.heap_base + (2 * st.Vm.Interp.image.Vm.Image.semi_words)
 
 let in_heap_region st v = v >= heap_lo st && v < heap_hi st
-let in_live st v = v >= st.Vm.Interp.from_base && v < st.Vm.Interp.alloc
+
+(* In generational mode the live part of from-space is two regions: the
+   old generation at the bottom and the nursery at the top, with dead
+   space between the frontiers. *)
+let in_live st v =
+  match st.Vm.Interp.gen with
+  | None -> v >= st.Vm.Interp.from_base && v < st.Vm.Interp.alloc
+  | Some g ->
+      (v >= st.Vm.Interp.from_base && v < g.Vm.Interp.old_alloc)
+      || (v >= g.Vm.Interp.nursery_base && v < g.Vm.Interp.nursery_alloc)
+
+let in_nursery st v =
+  match st.Vm.Interp.gen with
+  | None -> false
+  | Some g -> v >= g.Vm.Interp.nursery_base && v < g.Vm.Interp.nursery_alloc
 
 (* A value is a valid pointer target iff it is not a heap-region address
    at all (NIL, a global, static text — the tables legitimately cover
@@ -103,57 +117,79 @@ let in_live st v = v >= st.Vm.Interp.from_base && v < st.Vm.Interp.alloc
 let check_target c ~what v =
   if in_heap_region c.st v then begin
     if not (in_live c.st v) then
-      violate c "%s holds %d: inside the heap but outside the live region [%d, %d)" what v
-        c.st.Vm.Interp.from_base c.st.Vm.Interp.alloc
+      violate c "%s holds %d: inside the heap but outside every live region" what v
     else if c.walk_ok && not (Hashtbl.mem c.starts v) then
       violate c "%s holds %d: inside the live region but not an object header" what v
   end
 
-let walk_heap c =
+(* Parse one live region as a sequence of valid objects. *)
+let walk_region c lo hi =
   let st = c.st in
   let mem = st.Vm.Interp.mem in
   let layouts = st.Vm.Interp.image.Vm.Image.layouts in
-  let lo = st.Vm.Interp.from_base and hi = st.Vm.Interp.alloc in
+  let addr = ref lo in
+  try
+    while !addr < hi do
+      let header = mem.(!addr) in
+      if header < 0 || header >= Array.length layouts then begin
+        violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
+          (Array.length layouts - 1);
+        raise Exit
+      end;
+      let size =
+        match layouts.(header) with
+        | Rt.Typedesc.Lfixed { words; _ } -> words
+        | Rt.Typedesc.Lopen { elt_size; _ } ->
+            let length = mem.(!addr + 1) in
+            if length < 0 then begin
+              violate c "open array at %d has negative length %d" !addr length;
+              raise Exit
+            end;
+            Rt.Typedesc.open_header_words + (length * elt_size)
+      in
+      if size <= 0 || !addr + size > hi then begin
+        violate c "object at %d (size %d words) overruns the live region end %d" !addr size hi;
+        raise Exit
+      end;
+      Hashtbl.replace c.starts !addr size;
+      c.objects <- c.objects + 1;
+      addr := !addr + size
+    done
+  with Exit -> c.walk_ok <- false
+
+let walk_heap c =
+  let st = c.st in
+  let lo = st.Vm.Interp.from_base in
   let semi = st.Vm.Interp.image.Vm.Image.semi_words in
   if lo <> heap_lo st && lo <> heap_lo st + semi then begin
     violate c "from_base %d is not a semispace base" lo;
     c.walk_ok <- false
   end
-  else if hi < lo || hi > lo + semi then begin
-    violate c "allocation frontier %d outside the current semispace [%d, %d]" hi lo (lo + semi);
-    c.walk_ok <- false
-  end
-  else begin
-    let addr = ref lo in
-    (try
-       while !addr < hi do
-         let header = mem.(!addr) in
-         if header < 0 || header >= Array.length layouts then begin
-           violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
-             (Array.length layouts - 1);
-           raise Exit
-         end;
-         let size =
-           match layouts.(header) with
-           | Rt.Typedesc.Lfixed { words; _ } -> words
-           | Rt.Typedesc.Lopen { elt_size; _ } ->
-               let length = mem.(!addr + 1) in
-               if length < 0 then begin
-                 violate c "open array at %d has negative length %d" !addr length;
-                 raise Exit
-               end;
-               Rt.Typedesc.open_header_words + (length * elt_size)
-         in
-         if size <= 0 || !addr + size > hi then begin
-           violate c "object at %d (size %d words) overruns the live region end %d" !addr size hi;
-           raise Exit
-         end;
-         Hashtbl.replace c.starts !addr size;
-         c.objects <- c.objects + 1;
-         addr := !addr + size
-       done
-     with Exit -> c.walk_ok <- false)
-  end
+  else
+    match st.Vm.Interp.gen with
+    | None ->
+        let hi = st.Vm.Interp.alloc in
+        if hi < lo || hi > lo + semi then begin
+          violate c "allocation frontier %d outside the current semispace [%d, %d]" hi lo
+            (lo + semi);
+          c.walk_ok <- false
+        end
+        else walk_region c lo hi
+    | Some g ->
+        (* Two live regions: old generation, then the nursery. *)
+        let old_hi = g.Vm.Interp.old_alloc in
+        let nb = g.Vm.Interp.nursery_base and na = g.Vm.Interp.nursery_alloc in
+        if old_hi < lo || old_hi > nb || nb > na || na > lo + semi then begin
+          violate c
+            "generational frontiers out of order: from_base %d <= old_alloc %d <= \
+             nursery_base %d <= nursery_alloc %d <= %d violated"
+            lo old_hi nb na (lo + semi);
+          c.walk_ok <- false
+        end
+        else begin
+          walk_region c lo old_hi;
+          if c.walk_ok then walk_region c nb na
+        end
 
 (* Second pass over the parsed objects: every pointer field must reference
    a valid target. Only meaningful when the parse completed. *)
@@ -180,6 +216,47 @@ let check_heap_fields c =
             end)
       c.starts
   end
+
+(* Generational invariant: every old-generation slot holding a nursery
+   pointer must be covered — recorded in the remembered set by a write
+   barrier, or inside a pretenured object, which minor collections scan
+   wholesale. An uncovered old→young reference is exactly the bug a
+   missing (or wrongly eliminated) barrier produces: the next minor
+   collection would leave it dangling. *)
+let check_old_young c =
+  match c.st.Vm.Interp.gen with
+  | None -> ()
+  | Some g ->
+      if c.walk_ok then begin
+        let mem = c.st.Vm.Interp.mem in
+        let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
+        let big = Hashtbl.create 16 in
+        List.iter (fun a -> Hashtbl.replace big a ()) g.Vm.Interp.big_objects;
+        let check_slot owner a =
+          let v = mem.(a) in
+          if in_nursery c.st v && (not (Remset.mem c.st g a)) && not (Hashtbl.mem big owner)
+          then
+            violate c
+              "old-generation word %d holds nursery pointer %d but is neither remembered \
+               nor inside a pretenured object"
+              a v
+        in
+        Hashtbl.iter
+          (fun addr _size ->
+            if addr < g.Vm.Interp.old_alloc then
+              match layouts.(mem.(addr)) with
+              | Rt.Typedesc.Lfixed { offsets; _ } ->
+                  Array.iter (fun o -> check_slot addr (addr + o)) offsets
+              | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
+                  if Array.length elt_offsets > 0 then begin
+                    let length = mem.(addr + 1) in
+                    for i = 0 to length - 1 do
+                      let base = addr + Rt.Typedesc.open_header_words + (i * elt_size) in
+                      Array.iter (fun o -> check_slot addr (base + o)) elt_offsets
+                    done
+                  end)
+          c.starts
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Roots                                                               *)
@@ -274,6 +351,7 @@ let check (st : Vm.Interp.t) ~phase ~frames ?(derived = []) () : report =
   Telemetry.Trace.begin_span ~cat:"gc" "gc.verify";
   walk_heap c;
   check_heap_fields c;
+  check_old_young c;
   check_global_roots c;
   List.iter (check_frame_roots c) frames;
   check_derived c derived;

@@ -30,6 +30,7 @@ let bytes = function
   | Insn.Enter { saves; _ } -> 1 + 2 (* save mask *) + Varint.byte_length (List.length saves)
   | Insn.Leave -> 1
   | Insn.Ret _ -> 1 + 1
+  | Insn.Wbar o -> 1 + operand_bytes o
   | Insn.Trap _ -> 1
 
 let code_bytes code = Array.fold_left (fun acc i -> acc + bytes i) 0 code

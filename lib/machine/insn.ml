@@ -36,6 +36,10 @@ type t =
          zero the rest of the frame; SP := FP - frame_size *)
   | Leave (* restore saves; SP := FP; FP := pop *)
   | Ret of int (* pop return address and n argument words; jump *)
+  | Wbar of operand
+      (* generational write barrier: record the effective address of the
+         just-stored heap slot in the remembered set when it may hold an
+         old→young reference. A no-op outside generational mode. *)
   | Trap of string (* unreachable / runtime error marker *)
 
 let relop_eval r a b =
@@ -117,4 +121,5 @@ let pp ?(callee_name = fun _ -> None) fmt = function
         (String.concat ";" (List.map Reg.name saves))
   | Leave -> Format.fprintf fmt "leave"
   | Ret n -> Format.fprintf fmt "ret %d" n
+  | Wbar o -> Format.fprintf fmt "wbar %a" pp_operand o
   | Trap msg -> Format.fprintf fmt "trap %S" msg

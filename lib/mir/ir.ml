@@ -70,6 +70,12 @@ type instr =
   | Lda_text of temp * int (* address of static text literal *)
   | Load of temp * operand * int (* temp := M[addr + disp] *)
   | Store of operand * int * operand (* M[addr + disp] := value *)
+  | Store_nb of operand * int * operand
+    (* heap store whose generational write barrier has been statically
+       eliminated: the target object is provably still nursery-resident
+       (allocated in this procedure with no intervening gc-point), so the
+       store cannot create an old→young reference. Produced only by
+       {!Opt.Barrier_elim}; identical to [Store] in every other respect. *)
   | Call of temp option * callee * operand list
 
 type term =
@@ -159,14 +165,14 @@ let instr_uses = function
   | Ld_local _ | Ld_global _ | Lda_local _ | Lda_global _ | Lda_text _ -> []
   | St_local (_, _, s) | St_global (_, _, s) -> [ s ]
   | Load (_, a, _) -> [ a ]
-  | Store (a, _, v) -> [ a; v ]
+  | Store (a, _, v) | Store_nb (a, _, v) -> [ a; v ]
   | Call (_, _, args) -> args
 
 let instr_def = function
   | Mov (d, _) | Bin (_, d, _, _) | Neg (d, _) | Abs (d, _) | Setrel (_, d, _, _)
   | Ld_local (d, _, _) | Ld_global (d, _, _) | Lda_local (d, _, _)
   | Lda_global (d, _, _) | Lda_text (d, _) | Load (d, _, _) -> Some d
-  | Store _ | St_local _ | St_global _ -> None
+  | Store _ | Store_nb _ | St_local _ | St_global _ -> None
   | Call (d, _, _) -> d
 
 let term_uses = function
@@ -188,16 +194,17 @@ let operand_temps ops =
 let instr_local_reads = function
   | Ld_local (_, l, _) -> [ l ]
   | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_global _ | St_local _ | St_global _
-  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Call _ -> []
+  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Store_nb _ | Call _ -> []
 
 let instr_local_writes = function
   | St_local (l, _, _) -> [ l ]
   | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_local _ | Ld_global _ | St_global _
-  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Call _ -> []
+  | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Store_nb _ | Call _ -> []
 
 let is_call = function Call _ -> true
   | Mov _ | Bin _ | Neg _ | Abs _ | Setrel _ | Ld_local _ | Ld_global _ | St_local _
-  | St_global _ | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ -> false
+  | St_global _ | Lda_local _ | Lda_global _ | Lda_text _ | Load _ | Store _ | Store_nb _ ->
+      false
 
 (** Does this call instruction constitute a gc-point?  All calls to user
     procedures do (unless the optional never-allocates analysis proves
@@ -225,6 +232,7 @@ let map_instr_uses (g : operand -> operand) (i : instr) : instr =
   | St_global (gl, o, s) -> St_global (gl, o, g s)
   | Load (d, a, o) -> Load (d, g a, o)
   | Store (a, o, v) -> Store (g a, o, g v)
+  | Store_nb (a, o, v) -> Store_nb (g a, o, g v)
   | Call (d, c, args) -> Call (d, c, List.map g args)
 
 let map_term_uses (g : operand -> operand) (t : term) : term =

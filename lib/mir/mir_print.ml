@@ -51,6 +51,8 @@ let pp_instr prog fmt i =
   | Lda_text (d, x) -> Format.fprintf fmt "t%d := &text%d" d x
   | Load (d, a, o) -> Format.fprintf fmt "t%d := M[%a + %d]" d pp_operand a o
   | Store (a, o, v) -> Format.fprintf fmt "M[%a + %d] := %a" pp_operand a o pp_operand v
+  | Store_nb (a, o, v) ->
+      Format.fprintf fmt "M[%a + %d] :=[nb] %a" pp_operand a o pp_operand v
   | Call (d, c, args) ->
       (match d with
       | Some d -> Format.fprintf fmt "t%d := call %s(" d (callee_name prog c)

@@ -73,7 +73,8 @@ let run (_prog : Ir.program) (f : Ir.func) : bool =
             | Ir.St_global (g, _, _) ->
                 kill (fun k _ ->
                     match k with Kld_global (g', _) -> g' = g | _ -> false)
-            | Ir.Store _ -> kill (fun k _ -> match k with Kload _ -> true | _ -> false)
+            | Ir.Store _ | Ir.Store_nb _ ->
+                kill (fun k _ -> match k with Kload _ -> true | _ -> false)
             | Ir.Call _ ->
                 kill (fun k _ ->
                     match k with

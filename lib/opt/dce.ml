@@ -13,7 +13,7 @@ module Iset = Support.Ints.Iset
 
 let has_side_effects (i : Ir.instr) =
   match i with
-  | Ir.St_local _ | Ir.St_global _ | Ir.Store _ | Ir.Call _ -> true
+  | Ir.St_local _ | Ir.St_global _ | Ir.Store _ | Ir.Store_nb _ | Ir.Call _ -> true
   | Ir.Bin ((Ir.Div | Ir.Mod), _, _, Ir.Oimm n) -> n = 0 (* keep the trap *)
   | Ir.Bin ((Ir.Div | Ir.Mod), _, _, (Ir.Otemp _ : Ir.operand)) -> true
   | Ir.Mov _ | Ir.Bin _ | Ir.Neg _ | Ir.Abs _ | Ir.Setrel _ | Ir.Ld_local _

@@ -45,7 +45,7 @@ let hoist_loop (f : Ir.func) (l : Mir.Cfg.loop) : bool =
           | Ir.St_local (lo, _, _) -> stored_locals := Iset.add lo !stored_locals
           | Ir.St_global (g, _, _) -> stored_globals := Iset.add g !stored_globals
           | Ir.Call _ -> has_call := true
-          | Ir.Store _ -> has_store := true
+          | Ir.Store _ | Ir.Store_nb _ -> has_store := true
           | _ -> ())
         f.Ir.blocks.(b).Ir.instrs)
     body;
@@ -70,7 +70,7 @@ let hoist_loop (f : Ir.func) (l : Mir.Cfg.loop) : bool =
         && ((not f.Ir.locals.(lo).Ir.l_addr_taken) || not !has_call)
     | Ir.Ld_global (_, g, _) -> (not !has_call) && not (Iset.mem g !stored_globals)
     | Ir.Load _ -> in_header && (not !has_call) && not !has_store
-    | Ir.St_local _ | Ir.St_global _ | Ir.Store _ | Ir.Call _ -> false
+    | Ir.St_local _ | Ir.St_global _ | Ir.Store _ | Ir.Store_nb _ | Ir.Call _ -> false
   in
   let preheader = ref None in
   let get_preheader () =

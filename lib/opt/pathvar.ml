@@ -79,7 +79,8 @@ let match_instr bij (ia : Ir.instr) (ib : Ir.instr) =
   | Ir.Load (da, aa, oa), Ir.Load (db, ab, ob) ->
       if oa = ob && match_operand bij aa ab && match_def bij da db then `Equal
       else `Mismatch
-  | Ir.Store (aa, oa, va), Ir.Store (ab, ob, vb) ->
+  | Ir.Store (aa, oa, va), Ir.Store (ab, ob, vb)
+  | Ir.Store_nb (aa, oa, va), Ir.Store_nb (ab, ob, vb) ->
       if oa = ob && match_operand bij aa ab && match_operand bij va vb then `Equal
       else `Mismatch
   | _ -> `Mismatch

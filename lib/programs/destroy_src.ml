@@ -28,17 +28,24 @@ BEGIN
   RETURN seed MOD bound
 END Rand;
 
+(* Bottom-up construction, the cons idiom of the paper's Lisp-derived
+   benchmarks: the kids are built first, so the node's initializing
+   pointer store targets the object just allocated — the pattern the
+   static write-barrier elimination proves barrier-free. The k[i] store
+   keeps its barrier: the recursive call may collect and promote k. *)
 PROCEDURE MkTree(depth: INTEGER): Tree;
-VAR t: Tree; i: INTEGER;
+VAR t: Tree; k: Kids; i: INTEGER;
 BEGIN
-  t := NEW(Tree);
-  t.value := depth;
+  k := NIL;
   IF depth > 0 THEN
-    t.kids := NEW(Kids, %d);
+    k := NEW(Kids, %d);
     FOR i := 0 TO %d DO
-      t.kids[i] := MkTree(depth - 1)
+      k[i] := MkTree(depth - 1)
     END
   END;
+  t := NEW(Tree);
+  t.value := depth;
+  t.kids := k;
   RETURN t
 END MkTree;
 

@@ -2,6 +2,82 @@
     Takeuchi's function computed on lists, allocation-heavy and deeply
     recursive. Parameters below are the classic (18, 12, 6). *)
 
+(* A single tak(18,12,6) allocates only in the three Listn calls — 36
+   cells, all live until the end — so one run can never fill a semispace
+   that holds its own live data. [make] repeats the computation: each
+   iteration's lists become garbage on the next, which is what gives the
+   gc bench collections to measure (the Gabriel harnesses repeated it for
+   the same reason). [ballast] cells of long-lived list are built up
+   front: a full compaction re-copies them at every collection, a minor
+   collection promotes them once and never touches them again — the
+   generational hypothesis made observable. *)
+let make ~n1 ~n2 ~n3 ~repeats ~ballast =
+  Printf.sprintf
+    {|
+MODULE Takl;
+
+TYPE
+  Cell = RECORD head: INTEGER; tail: List END;
+  List = REF Cell;
+
+VAR result, ballast: List;
+VAR it, checksum: INTEGER;
+
+(* The rest of the list is built before the cell, so the initializing
+   tail store targets the cell just allocated (no gc-point between the
+   NEW and the store): the write-barrier elimination proves it
+   barrier-free, as it would for a Lisp cons. *)
+PROCEDURE Listn(n: INTEGER): List;
+VAR c, rest: List;
+BEGIN
+  IF n = 0 THEN RETURN NIL END;
+  rest := Listn(n - 1);
+  c := NEW(List);
+  c.head := n;
+  c.tail := rest;
+  RETURN c
+END Listn;
+
+PROCEDURE Shorterp(x, y: List): BOOLEAN;
+BEGIN
+  WHILE y # NIL DO
+    IF x = NIL THEN RETURN TRUE END;
+    x := x.tail;
+    y := y.tail
+  END;
+  RETURN FALSE
+END Shorterp;
+
+PROCEDURE Mas(x, y, z: List): List;
+BEGIN
+  IF NOT Shorterp(y, x) THEN RETURN z END;
+  RETURN Mas(Mas(x.tail, y, z), Mas(y.tail, z, x), Mas(z.tail, x, y))
+END Mas;
+
+PROCEDURE Length(l: List): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  n := 0;
+  WHILE l # NIL DO n := n + 1; l := l.tail END;
+  RETURN n
+END Length;
+
+BEGIN
+  ballast := Listn(%d);
+  checksum := 0;
+  FOR it := 1 TO %d DO
+    result := Mas(Listn(%d), Listn(%d), Listn(%d));
+    checksum := checksum + Length(result)
+  END;
+  PutText("takl: length=");
+  PutInt(Length(result));
+  PutText(" checksum=");
+  PutInt(checksum + Length(ballast));
+  PutLn()
+END Takl.
+|}
+    ballast repeats n1 n2 n3
+
 let src =
   {|
 MODULE Takl;
@@ -12,13 +88,18 @@ TYPE
 
 VAR result: List;
 
+(* The rest of the list is built before the cell, so the initializing
+   tail store targets the cell just allocated (no gc-point between the
+   NEW and the store): the write-barrier elimination proves it
+   barrier-free, as it would for a Lisp cons. *)
 PROCEDURE Listn(n: INTEGER): List;
-VAR c: List;
+VAR c, rest: List;
 BEGIN
   IF n = 0 THEN RETURN NIL END;
+  rest := Listn(n - 1);
   c := NEW(List);
   c.head := n;
-  c.tail := Listn(n - 1);
+  c.tail := rest;
   RETURN c
 END Listn;
 

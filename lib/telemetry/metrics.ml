@@ -159,12 +159,18 @@ let summary_lines () : string list =
                Printf.sprintf "%-28s n=%d sum=%.0f min=%.0f mean=%.1f max=%.0f"
                  h.h_name h.h_count h.h_sum h.h_min (mean h) h.h_max)
 
-let to_text () = String.concat "\n" (summary_lines ()) ^ "\n"
+let to_text () =
+  Printf.sprintf "# clock: monotonic, measured granularity %Ld ns\n"
+    (Control.granularity_ns ())
+  ^ String.concat "\n" (summary_lines ())
+  ^ "\n"
 
-(** Metrics as a JSON object, for embedding in trace exports. *)
+(** Metrics as a JSON object, for embedding in trace exports. The
+    [clock.granularity_ns] entry records the measured tick of the
+    monotonic source under every timing. *)
 let to_json () : Json.t =
-  Json.Obj
-    (all ()
+  let entries =
+    all ()
     |> List.map (fun m ->
            match m with
            | Counter c -> (c.c_name, Json.Int c.c_value)
@@ -179,4 +185,8 @@ let to_json () : Json.t =
                      ("mean", Json.Float (mean h));
                      ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
                    ] ))
-    |> List.sort compare)
+    |> List.sort compare
+  in
+  Json.Obj
+    (("clock.granularity_ns", Json.Int (Int64.to_int (Control.granularity_ns ())))
+    :: entries)

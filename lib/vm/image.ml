@@ -48,6 +48,8 @@ type t = {
   rawmaps : RM.proc_maps array; (* unencoded, for stats and tests *)
   folds_applied : int;
   folds_suppressed : int;
+  barriers : int; (* generational write barriers in the code *)
+  barriers_elided : int; (* pointer stores proven barrier-free at compile time *)
   gc_safe : bool; (* false when built with --no-gc-restrict (§6.2): the
                      tables may miss live pointers, so running a moving
                      collector over this image is unsound *)
@@ -238,6 +240,9 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_folds_applied) 0 outs;
     folds_suppressed =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_folds_suppressed) 0 outs;
+    barriers = Array.fold_left (fun a o -> a + o.Codegen.Select.of_barriers) 0 outs;
+    barriers_elided =
+      Array.fold_left (fun a o -> a + o.Codegen.Select.of_barriers_elided) 0 outs;
     gc_safe = opts.select.Codegen.Select.gc_restrict;
   }
 

@@ -18,6 +18,8 @@ module I = Machine.Insn
 let c_allocs = Telemetry.Metrics.counter "vm.allocations"
 let c_alloc_words = Telemetry.Metrics.counter "vm.alloc_words"
 let c_instructions = Telemetry.Metrics.counter "vm.instructions"
+let c_barriers = Telemetry.Metrics.counter "gc.barrier_execs"
+let c_remset_inserts = Telemetry.Metrics.counter "gc.remset_inserts"
 
 type gc_stats = {
   mutable collections : int;
@@ -26,6 +28,31 @@ type gc_stats = {
   mutable trace_ns : int64; (* time spent locating/decoding/rooting stacks *)
   mutable frames_traced : int;
   mutable objects_copied : int;
+  mutable minor_collections : int; (* generational mode only *)
+}
+
+(** Generational-mode heap state (installed by [Gc.Nursery]). The current
+    from-space is split into an old generation growing up from [from_base]
+    (frontier [old_alloc]) and a bump-allocated nursery at the top,
+    [nursery_base, from_base + semi_words). Minor collections promote
+    nursery survivors to [old_alloc]; the remembered set records old-gen
+    slots that may hold nursery pointers (written by the compiler-emitted
+    [Wbar] barriers), deduplicated through the [dirty] byte map. *)
+type gen_state = {
+  nursery_cap : int; (* configured nursery size in words *)
+  mutable old_alloc : int; (* old-generation frontier *)
+  mutable nursery_base : int;
+  mutable nursery_alloc : int; (* nursery bump pointer *)
+  dirty : Bytes.t; (* per-heap-word dedup map, index = addr - heap_base *)
+  mutable remset : int array; (* recorded old-gen slot addresses *)
+  mutable remset_len : int;
+  mutable big_objects : int list;
+    (* objects too large for the nursery, pretenured into the old
+       generation; their fields are scanned wholesale at every minor
+       collection (cleared by a full collection), which keeps static
+       barrier elimination sound for them *)
+  mutable barrier_execs : int;
+  mutable remset_inserts : int;
 }
 
 type t = {
@@ -42,6 +69,7 @@ type t = {
   mutable free_list : (int * int) list; (* (addr, size) — used by the
                                            non-moving conservative collector *)
   mutable collector : (t -> needed:int -> unit) option;
+  mutable gen : gen_state option; (* Some iff running generationally *)
   mutable on_alloc : (int -> int -> unit) option; (* (address, size) hook *)
   mutable gc_check_forces : bool; (* Rt_gc_check triggers a collection *)
   mutable icount : int;
@@ -65,6 +93,7 @@ let create (image : Image.t) : t =
     alloc = image.Image.heap_base;
     free_list = [];
     collector = None;
+    gen = None;
     on_alloc = None;
     gc_check_forces = false;
     icount = 0;
@@ -78,6 +107,7 @@ let create (image : Image.t) : t =
         trace_ns = 0L;
         frames_traced = 0;
         objects_copied = 0;
+        minor_collections = 0;
       };
   }
 
@@ -152,6 +182,93 @@ let push t v =
 
 let heap_free t = t.from_base + t.image.Image.semi_words - t.alloc
 
+(* --- generational mode -------------------------------------------- *)
+
+let gen_nursery_limit t = t.from_base + t.image.Image.semi_words
+let gen_nursery_free t (g : gen_state) = gen_nursery_limit t - g.nursery_alloc
+
+(** Install generational heap state: the nursery takes the top
+    [nursery_words] of from-space (clamped to the semispace), the old
+    generation is whatever already sits at the bottom — empty on a fresh
+    machine. *)
+let gen_init t ~nursery_words =
+  let semi = t.image.Image.semi_words in
+  let cap = min semi (max 1 nursery_words) in
+  let base = max t.alloc (t.from_base + semi - cap) in
+  let g =
+    {
+      nursery_cap = cap;
+      old_alloc = t.alloc;
+      nursery_base = base;
+      nursery_alloc = base;
+      dirty = Bytes.make (2 * semi) '\000';
+      remset = Array.make 64 0;
+      remset_len = 0;
+      big_objects = [];
+      barrier_execs = 0;
+      remset_inserts = 0;
+    }
+  in
+  t.gen <- Some g;
+  g
+
+(** Rebuild the generational view after a full collection flipped the
+    semispaces: the survivors at [from_base, alloc) become the new old
+    generation, the nursery re-opens empty at the top, and the remembered
+    set is void — every recorded address referred to the old from-space. *)
+let gen_reset_after_full t =
+  match t.gen with
+  | None -> ()
+  | Some g ->
+      g.old_alloc <- t.alloc;
+      let base = max t.alloc (gen_nursery_limit t - g.nursery_cap) in
+      g.nursery_base <- base;
+      g.nursery_alloc <- base;
+      let hb = t.image.Image.heap_base in
+      for i = 0 to g.remset_len - 1 do
+        Bytes.set g.dirty (g.remset.(i) - hb) '\000'
+      done;
+      g.remset_len <- 0;
+      g.big_objects <- []
+
+let allocate_gen t (g : gen_state) size =
+  if size <= g.nursery_cap then begin
+    if gen_nursery_free t g < size then
+      (match t.collector with Some collect -> collect t ~needed:size | None -> ());
+    if gen_nursery_free t g < size then
+      Vm_error.(error (Heap_exhausted { needed = size; free = gen_nursery_free t g }));
+    let a = g.nursery_alloc in
+    g.nursery_alloc <- a + size;
+    a
+  end
+  else begin
+    (* Pretenure: the object can never fit the nursery, so it goes straight
+       to the old generation and onto [big_objects] for wholesale scanning
+       at minor collections. *)
+    if g.nursery_base - g.old_alloc < size then
+      (match t.collector with Some collect -> collect t ~needed:size | None -> ());
+    (* When the nursery is empty (always true right after a full
+       collection) an oversized object may displace it, so exhaustion
+       strikes exactly when the non-generational collector would run out. *)
+    let room =
+      if g.nursery_alloc = g.nursery_base then gen_nursery_limit t - g.old_alloc
+      else g.nursery_base - g.old_alloc
+    in
+    if room < size then
+      Vm_error.(error (Heap_exhausted { needed = size; free = room }));
+    let a = g.old_alloc in
+    g.old_alloc <- a + size;
+    if g.old_alloc > g.nursery_base then begin
+      g.nursery_base <- g.old_alloc;
+      g.nursery_alloc <- g.old_alloc
+    end;
+    g.big_objects <- a :: g.big_objects;
+    (* [alloc] mirrors the old-generation frontier in generational mode so
+       region-based consumers (the verifier, stats) see one truth. *)
+    t.alloc <- g.old_alloc;
+    a
+  end
+
 let ensure_space t needed =
   if heap_free t < needed then
     match t.collector with Some collect -> collect t ~needed | None -> ()
@@ -173,7 +290,7 @@ let take_free_list t size =
    again after a collection refills it. Under the precise collector the
    free list is permanently empty, so the probe (and its list rebuild) is
    skipped entirely on that hot path. *)
-let allocate t size =
+let allocate_flat t size =
   let probe () = if t.free_list == [] then None else take_free_list t size in
   match probe () with
   | Some a -> a
@@ -187,6 +304,9 @@ let allocate t size =
           let a = t.alloc in
           t.alloc <- t.alloc + size;
           a)
+
+let allocate t size =
+  match t.gen with Some g -> allocate_gen t g size | None -> allocate_flat t size
 
 let rt_alloc t tdid ~length =
   let lay = t.image.Image.layouts.(tdid) in
@@ -319,16 +439,49 @@ let step t =
       let ra = read t (sp t) in
       set_sp t (sp t + 1 + n);
       if ra = sentinel_ret then t.halted <- true else t.pc <- ra
+  | I.Wbar o ->
+      (match t.gen with
+      | Some g ->
+          g.barrier_execs <- g.barrier_execs + 1;
+          let a = addr_of t o in
+          (* Only a store into the old generation can create an old→young
+             reference; the dirty byte dedups repeated stores to a slot. *)
+          if a >= t.from_base && a < g.nursery_base then begin
+            let d = a - t.image.Image.heap_base in
+            if Bytes.get g.dirty d = '\000' then begin
+              Bytes.set g.dirty d '\001';
+              if g.remset_len = Array.length g.remset then begin
+                let bigger = Array.make (2 * g.remset_len) 0 in
+                Array.blit g.remset 0 bigger 0 g.remset_len;
+                g.remset <- bigger
+              end;
+              g.remset.(g.remset_len) <- a;
+              g.remset_len <- g.remset_len + 1;
+              g.remset_inserts <- g.remset_inserts + 1
+            end
+          end
+      | None -> ());
+      t.pc <- t.pc + 1
   | I.Trap msg -> raise (Guest_error msg)
 
 let run ?(fuel = max_int) t =
   reset t;
   let icount0 = t.icount in
+  let bar0, rs0 =
+    match t.gen with
+    | Some g -> (g.barrier_execs, g.remset_inserts)
+    | None -> (0, 0)
+  in
   Telemetry.Trace.begin_span ~cat:"vm" "vm.run";
   let budget = ref fuel in
   Fun.protect
     ~finally:(fun () ->
       Telemetry.Metrics.incr ~by:(t.icount - icount0) c_instructions;
+      (match t.gen with
+      | Some g ->
+          Telemetry.Metrics.incr ~by:(g.barrier_execs - bar0) c_barriers;
+          Telemetry.Metrics.incr ~by:(g.remset_inserts - rs0) c_remset_inserts
+      | None -> ());
       Telemetry.Trace.end_span
         ~args:[ ("instructions", Telemetry.Json.Int (t.icount - icount0)) ]
         ())

@@ -197,9 +197,11 @@ let with_verifier ~pre f =
       Gc.Verify.set_pre was_pre)
     f
 
-(* Every benchmark × both schemes × packed/plain × opt/unopt, with heaps
-   small enough to collect, under pre- and post-verification. Any table
-   bug, stackwalk bug or copy bug the verifier can see raises
+(* Every benchmark × both schemes × packed/plain × opt/unopt × collector
+   (full compaction / generational / generational without the static
+   barrier elimination), with heaps small enough to collect, under pre-
+   and post-verification. Any table bug, stackwalk bug, copy bug or
+   unrecorded old→young reference the verifier can see raises
    Verify_failed; outputs must still match the gc-free reference. *)
 let test_verifier_matrix () =
   let benchmarks =
@@ -232,29 +234,39 @@ let test_verifier_matrix () =
             (fun (cfg, scheme, table_opts) ->
               List.iter
                 (fun (optimize, checks) ->
-                  let options =
-                    {
-                      Driver.Compile.default_options with
-                      optimize;
-                      checks;
-                      heap_words = heap;
-                      scheme;
-                      table_opts;
-                    }
-                  in
-                  let r = Driver.Compile.run_source ~options src in
-                  check Alcotest.string
-                    (Printf.sprintf "%s/%s/opt=%b/checks=%b output" name cfg optimize checks)
-                    reference.Driver.Compile.output r.Driver.Compile.output;
-                  if r.Driver.Compile.collections > 0 then
-                    match Gc.Verify.last_report () with
-                    | None -> Alcotest.fail (name ^ ": collected but verifier never ran")
-                    | Some rep ->
-                        check Alcotest.int
-                          (Printf.sprintf "%s/%s/opt=%b/checks=%b violations" name cfg optimize
-                             checks)
-                          0
-                          (List.length rep.Gc.Verify.violations))
+                  List.iter
+                    (fun (ccfg, collector, barrier_elim) ->
+                      let options =
+                        {
+                          Driver.Compile.default_options with
+                          optimize;
+                          checks;
+                          heap_words = heap;
+                          scheme;
+                          table_opts;
+                          barrier_elim;
+                        }
+                      in
+                      let r = Driver.Compile.run_source ~options ~collector src in
+                      check Alcotest.string
+                        (Printf.sprintf "%s/%s/%s/opt=%b/checks=%b output" name cfg ccfg
+                           optimize checks)
+                        reference.Driver.Compile.output r.Driver.Compile.output;
+                      if r.Driver.Compile.collections > 0 then
+                        match Gc.Verify.last_report () with
+                        | None ->
+                            Alcotest.fail (name ^ ": collected but verifier never ran")
+                        | Some rep ->
+                            check Alcotest.int
+                              (Printf.sprintf "%s/%s/%s/opt=%b/checks=%b violations" name
+                                 cfg ccfg optimize checks)
+                              0
+                              (List.length rep.Gc.Verify.violations))
+                    [
+                      ("flat", Driver.Compile.Precise, true);
+                      ("gen", Driver.Compile.Generational, true);
+                      ("gen-noelim", Driver.Compile.Generational, false);
+                    ])
                 (* checks=false on ambig enables the path-variable transform:
                    the one configuration whose derivation chains route through
                    variant tables (the ordering bug the verifier caught). *)

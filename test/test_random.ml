@@ -239,9 +239,15 @@ let to_m3l (p : prog) : string =
    outcome, not a collector discrepancy, so exhaustion is distinguished from
    output. The structured [Heap_exhausted] payload is what makes the match
    precise — any other [Vm_error] still fails the property. *)
-let run_cfg src (optimize, checks, heap, collector) =
+let run_cfg src (optimize, checks, heap, collector, barrier_elim) =
   let options =
-    { Driver.Compile.default_options with optimize; checks; heap_words = heap }
+    {
+      Driver.Compile.default_options with
+      optimize;
+      checks;
+      heap_words = heap;
+      barrier_elim;
+    }
   in
   try Some (Driver.Compile.run_source ~options ~collector ~fuel:20_000_000 src).Driver.Compile.output
   with Vm.Vm_error.Error (Vm.Vm_error.Heap_exhausted _) -> None
@@ -251,22 +257,39 @@ let prop_differential =
     (QCheck.make ~print:(fun p -> to_m3l p) gen_prog)
     (fun p ->
       let src = to_m3l p in
-      match run_cfg src (false, true, 65536, Driver.Compile.Precise) with
-      | None -> QCheck.Test.fail_report "reference run exhausted a 65536-word heap"
-      | Some reference ->
-          List.for_all
-            (fun cfg ->
-              match run_cfg src cfg with
-              | None -> true (* live data legitimately exceeds this heap *)
-              | Some out -> out = reference)
-            [
-              (true, true, 65536, Driver.Compile.Precise);
-              (false, true, 600, Driver.Compile.Precise);
-              (true, true, 600, Driver.Compile.Precise);
-              (false, false, 600, Driver.Compile.Precise);
-              (true, false, 600, Driver.Compile.Precise);
-              (false, true, 2000, Driver.Compile.Conservative);
-            ])
+      (* The heap verifier runs after every collection of every
+         configuration below; for the generational ones that includes the
+         old→young remembered-set check — with and without the static
+         barrier elimination, so an unsound elimination fails here, not
+         just output equality. A verifier violation raises (Verify_failed
+         is not Heap_exhausted) and fails the property. *)
+      let post0 = Gc.Verify.post_enabled () in
+      Gc.Verify.set_post true;
+      Fun.protect
+        ~finally:(fun () -> Gc.Verify.set_post post0)
+        (fun () ->
+          match run_cfg src (false, true, 65536, Driver.Compile.Precise, true) with
+          | None -> QCheck.Test.fail_report "reference run exhausted a 65536-word heap"
+          | Some reference ->
+              List.for_all
+                (fun cfg ->
+                  match run_cfg src cfg with
+                  | None -> true (* live data legitimately exceeds this heap *)
+                  | Some out -> out = reference)
+                [
+                  (true, true, 65536, Driver.Compile.Precise, true);
+                  (false, true, 600, Driver.Compile.Precise, true);
+                  (true, true, 600, Driver.Compile.Precise, true);
+                  (false, false, 600, Driver.Compile.Precise, true);
+                  (true, false, 600, Driver.Compile.Precise, true);
+                  (false, true, 2000, Driver.Compile.Conservative, true);
+                  (* generational × {barrier elimination on, off} *)
+                  (false, true, 65536, Driver.Compile.Generational, true);
+                  (false, true, 600, Driver.Compile.Generational, true);
+                  (true, true, 600, Driver.Compile.Generational, true);
+                  (false, true, 600, Driver.Compile.Generational, false);
+                  (true, true, 600, Driver.Compile.Generational, false);
+                ]))
 
 let prop_collections_strike =
   (* Sanity: the small-heap configuration really does collect on programs
