@@ -9,8 +9,8 @@ TRACE_OUT := _build/smoke.trace.json
 FAULT_ITERS ?= 15
 FAULT_OUT := _build/fault-report.json
 
-.PHONY: all build test test-verified test-gen smoke fault check bench bench-perf \
-	bench-gen clean
+.PHONY: all build test test-verified test-gen test-switch smoke fault check \
+	bench bench-perf bench-gen bench-mutator clean
 
 all: build
 
@@ -31,6 +31,12 @@ test-verified: build
 # check — armed around every minor and full collection.
 test-gen: build
 	MM_GEN=1 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
+
+# And once more on the reference switch interpreter: MM_THREADED=0 turns
+# the threaded-code engine off, so every driver-level test executes on
+# the plain fetch/match/step loop the semantics are defined against.
+test-switch: build
+	MM_THREADED=0 $(DUNE) runtest --force
 
 smoke: build
 	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
@@ -59,6 +65,11 @@ bench-perf: build
 # Generational vs full compaction on destroy and takl; writes BENCH_3.json.
 bench-gen: build
 	$(DUNE) exec bench/main.exe -- gen
+
+# Threaded-code engine vs switch interpreter mutator throughput;
+# writes BENCH_4.json.
+bench-mutator: build
+	$(DUNE) exec bench/main.exe -- mutator
 
 clean:
 	$(DUNE) clean

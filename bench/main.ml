@@ -962,6 +962,176 @@ let gen_bench () =
   printf "wrote %s\n" out_path
 
 (* ------------------------------------------------------------------ *)
+(* MUTATOR: threaded-code engine vs switch interpreter (BENCH_4.json)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The execution-engine trajectory target: the gc-intensive destroy and
+   takl configurations run on the pre-translated threaded engine and on
+   the reference switch interpreter — same image, same gc tables, same
+   collector — reporting median wall time, mutator throughput
+   (instructions per second), the speedup ratio, and the fusion counters.
+   Output, instruction count and collection count must agree exactly
+   between engines. Emits BENCH_4.json.
+
+   Environment knobs (used by the CI bench-smoke step):
+     BENCH_MUT_ITERS         destroy replacement iterations (default 400)
+     BENCH_MUT_TAKL_REPEATS  takl repeats (default 60)
+     BENCH_MUT_REPS          timed reps per engine (default 5)
+     BENCH_MUT_OUT           output JSON path (default BENCH_4.json) *)
+
+type mut_run = {
+  mr_wall : float; (* median wall seconds *)
+  mr_out : string;
+  mr_icount : int;
+  mr_collections : int;
+  mr_snap : T.Json.t;
+}
+
+let mutator () =
+  hr ();
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_MUT_ITERS" 400 in
+  let reps = getenv_int "BENCH_MUT_REPS" 5 in
+  let out_path = Option.value ~default:"BENCH_4.json" (Sys.getenv_opt "BENCH_MUT_OUT") in
+  printf "MUTATOR: threaded-code engine vs switch interpreter (warmup + median of %d)\n\n"
+    reps;
+  let progs =
+    [
+      ( "destroy",
+        Programs.Destroy_src.make ~branch:4 ~depth:5 ~replace_depth:2 ~iterations:iters,
+        12000 );
+      ( "takl",
+        Programs.Takl_src.make ~n1:14 ~n2:10 ~n3:4
+          ~repeats:(getenv_int "BENCH_MUT_TAKL_REPEATS" 60)
+          ~ballast:(getenv_int "BENCH_MUT_TAKL_BALLAST" 100),
+        getenv_int "BENCH_MUT_TAKL_HEAP" 1200 );
+    ]
+  in
+  let per_prog =
+    List.map
+      (fun (name, src, heap) ->
+        (* One image for both engines: the gc tables are literally the same
+           object, and the threaded engine's one-slot translation cache
+           amortizes across the timed reps exactly as in production. *)
+        let img = compile ~optimize:true ~heap src in
+        let run_engine ~threaded =
+          let fresh () =
+            let st = Vm.Interp.create img in
+            Gc.Cheney.install st;
+            st
+          in
+          let exec st = if threaded then Vm.Threaded.run st else Vm.Interp.run st in
+          (* Wall clock with telemetry off: one warmup (absorbs the one-time
+             translation), then the median of [reps]. *)
+          let wall =
+            median_wall ~reps (fun () ->
+                let st = fresh () in
+                let t0 = Unix.gettimeofday () in
+                exec st;
+                Unix.gettimeofday () -. t0)
+          in
+          (* One instrumented run for counters; re-translate explicitly so
+             translation cost and fusion statistics record under telemetry
+             (the cached engine skips translation). *)
+          let result = ref None in
+          with_telemetry (fun () ->
+              if threaded then ignore (Vm.Threaded.translate img);
+              let st = fresh () in
+              exec st;
+              let c = T.Metrics.counter_value in
+              let icount = st.Vm.Interp.icount in
+              let insns_per_s = float_of_int icount /. wall in
+              let snap =
+                T.Json.Obj
+                  [
+                    ("engine", T.Json.Str (if threaded then "threaded" else "switch"));
+                    ("wall_s_median", T.Json.Float wall);
+                    ("instructions", T.Json.Int icount);
+                    ("insns_per_sec", T.Json.Float insns_per_s);
+                    ("collections", T.Json.Int (c "gc.collections"));
+                    ("allocations", T.Json.Int (c "vm.allocations"));
+                    ( "fusion",
+                      T.Json.Obj
+                        ([
+                           ("translate_ns", T.Json.Int (c "vm.translate_ns"));
+                           ("closures", T.Json.Int (c "vm.closures"));
+                           ("fused_pairs", T.Json.Int (c "vm.fused_pairs"));
+                           ("fused_execs", T.Json.Int (c "vm.fused_execs"));
+                         ]
+                        @ List.map
+                            (fun k -> (k, T.Json.Int (c ("vm.fuse." ^ k))))
+                            Vm.Threaded.fuse_kind_names) );
+                  ]
+              in
+              result :=
+                Some
+                  {
+                    mr_wall = wall;
+                    mr_out = Vm.Interp.output st;
+                    mr_icount = icount;
+                    mr_collections = st.Vm.Interp.gc.Vm.Interp.collections;
+                    mr_snap = snap;
+                  });
+          Option.get !result
+        in
+        let th = run_engine ~threaded:true in
+        let sw = run_engine ~threaded:false in
+        let outputs_match = th.mr_out = sw.mr_out in
+        let icount_match = th.mr_icount = sw.mr_icount in
+        let collections_match = th.mr_collections = sw.mr_collections in
+        if not (outputs_match && icount_match && collections_match) then
+          printf "  !! ENGINE DIVERGENCE on %s (output %b, icount %b, collections %b)\n"
+            name outputs_match icount_match collections_match;
+        let speedup = sw.mr_wall /. th.mr_wall in
+        let mips w = float_of_int th.mr_icount /. w /. 1e6 in
+        printf "%s (heap %d words/semispace, %d insns, %d collections):\n" name heap
+          th.mr_icount th.mr_collections;
+        printf "  switch  : %8.2f ms  %8.1f M insns/s\n" (sw.mr_wall *. 1e3)
+          (mips sw.mr_wall);
+        printf "  threaded: %8.2f ms  %8.1f M insns/s  (%.2fx)\n" (th.mr_wall *. 1e3)
+          (mips th.mr_wall) speedup;
+        printf "\n";
+        ( name,
+          T.Json.Obj
+            [
+              ("heap_words", T.Json.Int heap);
+              ("threaded", th.mr_snap);
+              ("switch", sw.mr_snap);
+              ("speedup", T.Json.Float speedup);
+              ("outputs_match", T.Json.Bool outputs_match);
+              ("icount_match", T.Json.Bool icount_match);
+              ("collections_match", T.Json.Bool collections_match);
+            ] ))
+      progs
+  in
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "threaded_vs_switch");
+        ( "params",
+          T.Json.Obj
+            [
+              ("destroy_iterations", T.Json.Int iters);
+              ("optimize", T.Json.Bool true);
+              ("warmup", T.Json.Int 1);
+              ("reps", T.Json.Int reps);
+              ( "clock_granularity_ns",
+                T.Json.Int (Int64.to_int (T.Control.granularity_ns ())) );
+            ] );
+        ("programs", T.Json.Obj per_prog);
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -998,6 +1168,7 @@ let () =
           | "decode" -> decode_bench ()
           | "perf" -> perf ()
           | "gen" -> gen_bench ()
+          | "mutator" -> mutator ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

@@ -19,6 +19,32 @@ let read_file path =
    collectors populate (the single source of truth for gc numbers). The
    conservative collector has no phase breakdown; missing samples print
    as blanks. *)
+let print_engine_stats ~engine ~elapsed_ns () =
+  Printf.eprintf "engine       : %s\n" engine;
+  let insns = T.Metrics.counter_value "vm.instructions" in
+  if elapsed_ns > 0L then
+    Printf.eprintf "throughput   : %.1f M insns/s (%d insns in %.2f ms)\n"
+      (float_of_int insns /. (Int64.to_float elapsed_ns /. 1e3))
+      insns
+      (Int64.to_float elapsed_ns /. 1e6);
+  if engine = "threaded" then begin
+    Printf.eprintf "translation  : %.1f us, %d closures, %d pairs fused\n"
+      (float_of_int (T.Metrics.counter_value "vm.translate_ns") /. 1e3)
+      (T.Metrics.counter_value "vm.closures")
+      (T.Metrics.counter_value "vm.fused_pairs");
+    let kinds =
+      List.filter_map
+        (fun k ->
+          match T.Metrics.counter_value ("vm.fuse." ^ k) with
+          | 0 -> None
+          | n -> Some (Printf.sprintf "%s %d" k n))
+        Vm.Threaded.fuse_kind_names
+    in
+    Printf.eprintf "fused execs  : %d (pairs: %s)\n"
+      (T.Metrics.counter_value "vm.fused_execs")
+      (if kinds = [] then "none" else String.concat ", " kinds)
+  end
+
 let print_gc_stats () =
   let samples name = T.Metrics.samples (T.Metrics.histogram name) in
   let pauses = samples "gc.pause_ns" in
@@ -99,8 +125,10 @@ let print_gc_stats () =
     ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
 
 let run file optimize checks no_gc_restrict heap stack collector gen nursery
-    no_barrier_elim gc_stats trace metrics no_decode_cache verify_heap verify_pre fuel =
+    no_barrier_elim no_threaded gc_stats trace metrics no_decode_cache verify_heap
+    verify_pre fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
+  if no_threaded then Vm.Threaded.set_enabled false;
   if verify_heap then Gc.Verify.set_post true;
   if verify_pre then Gc.Verify.set_pre true;
   let options =
@@ -124,15 +152,18 @@ let run file optimize checks no_gc_restrict heap stack collector gen nursery
   in
   if gc_stats || metrics || trace <> None then T.Control.enable ();
   try
-    let r =
-      Driver.Compile.run_source ~options ~collector ?nursery_words:nursery ~fuel
-        (read_file file)
-    in
+    let image = Driver.Compile.compile ~options (read_file file) in
+    let t0 = T.Control.now_ns () in
+    let r = Driver.Compile.run ~collector ?nursery_words:nursery ~fuel image in
+    let elapsed_ns = Int64.sub (T.Control.now_ns ()) t0 in
     print_string r.Driver.Compile.output;
     (match trace with
     | Some path -> T.Trace.write_chrome_file path
     | None -> ());
-    if gc_stats then print_gc_stats ();
+    if gc_stats then begin
+      print_engine_stats ~engine:r.Driver.Compile.engine ~elapsed_ns ();
+      print_gc_stats ()
+    end;
     if metrics then prerr_string (T.Metrics.to_text ());
     `Ok ()
   with
@@ -191,6 +222,15 @@ let no_barrier_elim =
         ~doc:
           "Disable the static write-barrier elimination pass (keep every \
            compiler-emitted barrier).")
+let no_threaded =
+  Arg.(
+    value & flag
+    & info [ "no-threaded" ]
+        ~doc:
+          "Execute on the reference switch interpreter instead of the \
+           pre-translated threaded-code engine. Same machine state, same \
+           gc tables, same output — only dispatch changes. Also disabled \
+           by MM_THREADED=0.")
 let gc_stats =
   Arg.(
     value & flag
@@ -234,7 +274,7 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gen $ nursery $ no_barrier_elim $ gc_stats $ trace $ metrics $ no_decode_cache
-       $ verify_heap $ verify_pre $ fuel))
+       $ gen $ nursery $ no_barrier_elim $ no_threaded $ gc_stats $ trace $ metrics
+       $ no_decode_cache $ verify_heap $ verify_pre $ fuel))
 
 let () = exit (Cmd.eval cmd)

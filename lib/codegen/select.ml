@@ -483,7 +483,12 @@ let func ~(prog : Ir.program) (opts : options)
       text_addr;
     }
   in
-  emit st (I.Enter { frame_size = fr.Frame.frame_size; saves = ra.Regalloc.used_callee_saved });
+  emit st
+    (I.Enter
+       {
+         frame_size = fr.Frame.frame_size;
+         saves = Array.of_list ra.Regalloc.used_callee_saved;
+       });
   Array.iteri
     (fun b (blk : Ir.block) ->
       st.block_pos.(b) <- Growarr.length st.items;

@@ -78,6 +78,7 @@ type run_result = {
   allocations : int;
   alloc_words : int;
   collections : int;
+  engine : string; (* "threaded" or "switch" *)
   gc : Vm.Interp.gc_stats;
 }
 
@@ -107,13 +108,18 @@ let run ?(collector = Precise) ?nursery_words ?(fuel = 200_000_000) (image : Vm.
   | Generational -> Gc.Nursery.install ?nursery_words st
   | Conservative -> ignore (Gc.Conservative.install st)
   | No_gc -> ());
-  Vm.Interp.run ~fuel st;
+  (* Engine choice is a pure runtime switch over the same machine state:
+     the threaded pre-translated dispatch by default, the reference switch
+     interpreter under --no-threaded / MM_THREADED=0. *)
+  let threaded = Vm.Threaded.enabled () in
+  if threaded then Vm.Threaded.run ~fuel st else Vm.Interp.run ~fuel st;
   {
     output = Vm.Interp.output st;
     instructions = st.Vm.Interp.icount;
     allocations = st.Vm.Interp.alloc_count;
     alloc_words = st.Vm.Interp.alloc_words;
     collections = st.Vm.Interp.gc.Vm.Interp.collections;
+    engine = (if threaded then "threaded" else "switch");
     gc = st.Vm.Interp.gc;
   }
 

@@ -27,7 +27,7 @@ let bytes = function
   | Insn.Jmp _ -> 1 + target_bytes
   | Insn.Push o -> 1 + operand_bytes o
   | Insn.Call _ -> 1 + target_bytes
-  | Insn.Enter { saves; _ } -> 1 + 2 (* save mask *) + Varint.byte_length (List.length saves)
+  | Insn.Enter { saves; _ } -> 1 + 2 (* save mask *) + Varint.byte_length (Array.length saves)
   | Insn.Leave -> 1
   | Insn.Ret _ -> 1 + 1
   | Insn.Wbar o -> 1 + operand_bytes o

@@ -1,0 +1,116 @@
+(** Branch-target and superinstruction-fusion metadata over UVM code.
+
+    The threaded execution engine fuses hot adjacent instruction pairs into
+    single dispatch closures. Fusion of the pair at [(i, i+1)] is legal
+    only when control can never observe the seam:
+
+    - instruction [i] must fall through unconditionally into [i+1] — it is
+      not a branch, call, return or trap;
+    - instruction [i] must not be a gc-point (any [Call]): a collection
+      strikes with [pc] naming the call, so a call may only ever be the
+      {e last} element of a superinstruction (the engine materializes the
+      exact pc before executing it);
+    - [i+1] must not be a branch target: a jump landing mid-pair would
+      have to execute the second half alone, and the fused execution
+      counters would stop meaning "this static pair ran".
+
+    The analysis is purely static over the code array (targets are explicit
+    operands of [Jmp]/[Cbr], return points follow every procedure [Call]),
+    so it runs once at translation time and costs the mutator nothing. *)
+
+(** [targets ?entries code] marks every code index control can reach other
+    than by falling through from its predecessor: explicit [Jmp]/[Cbr]
+    operands, the return point after every procedure call, and the given
+    procedure [entries]. *)
+let targets ?(entries = []) (code : Insn.t array) : bool array =
+  let n = Array.length code in
+  let t = Array.make n false in
+  List.iter (fun e -> if e >= 0 && e < n then t.(e) <- true) entries;
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Jmp l -> if l >= 0 && l < n then t.(l) <- true
+      | Insn.Cbr (_, _, _, l) -> if l >= 0 && l < n then t.(l) <- true
+      | Insn.Call (Insn.Cproc _) ->
+          (* [Ret] jumps to the pushed return address, pc + 1. *)
+          if i + 1 < n then t.(i + 1) <- true
+      | _ -> ())
+    code;
+  t
+
+(** Instructions after which control always continues at [pc + 1] by plain
+    fall-through (no indirect or computed successor). [Call (Crt _)] does
+    continue sequentially, but it is a gc-point and thus never a legal
+    {e first} element — see {!classify_pair}. *)
+let falls_through = function
+  | Insn.Mov _ | Insn.Lea _ | Insn.Arith _ | Insn.Push _ | Insn.Enter _
+  | Insn.Wbar _ ->
+      true
+  | Insn.Cbr _ | Insn.Jmp _ | Insn.Call _ | Insn.Leave | Insn.Ret _ | Insn.Trap _
+    ->
+      false
+
+(** The fused pair kinds, in the order dynamic instruction mixes rank them
+    hot on the benchmark programs (a load feeding a conditional branch —
+    the list-walk idiom — tops both destroy and takl; move chains are next;
+    then pushes feeding calls and the frame idioms). *)
+type pair_kind =
+  | Mov_cbr
+  | Mov_mov
+  | Mov_arith
+  | Mov_jmp
+  | Mov_push
+  | Mov_leave
+  | Arith_cbr
+  | Arith_mov
+  | Push_push
+  | Push_call
+  | Enter_mov
+  | Wbar_mov
+
+let pair_name = function
+  | Mov_cbr -> "mov_cbr"
+  | Mov_mov -> "mov_mov"
+  | Mov_arith -> "mov_arith"
+  | Mov_jmp -> "mov_jmp"
+  | Mov_push -> "mov_push"
+  | Mov_leave -> "mov_leave"
+  | Arith_cbr -> "arith_cbr"
+  | Arith_mov -> "arith_mov"
+  | Push_push -> "push_push"
+  | Push_call -> "push_call"
+  | Enter_mov -> "enter_mov"
+  | Wbar_mov -> "wbar_mov"
+
+let all_pairs =
+  [
+    Mov_cbr; Mov_mov; Mov_arith; Mov_jmp; Mov_push; Mov_leave; Arith_cbr;
+    Arith_mov; Push_push; Push_call; Enter_mov; Wbar_mov;
+  ]
+
+(** Classify an adjacent pair as one of the fusible kinds. Purely shape
+    matching — the caller also checks {!targets} and gc-point legality via
+    {!fusible}. *)
+let classify_pair (a : Insn.t) (b : Insn.t) : pair_kind option =
+  match (a, b) with
+  | Insn.Mov _, Insn.Cbr _ -> Some Mov_cbr
+  | Insn.Mov _, Insn.Mov _ -> Some Mov_mov
+  | Insn.Mov _, Insn.Arith _ -> Some Mov_arith
+  | Insn.Mov _, Insn.Jmp _ -> Some Mov_jmp
+  | Insn.Mov _, Insn.Push _ -> Some Mov_push
+  | Insn.Mov _, Insn.Leave -> Some Mov_leave
+  | Insn.Arith _, Insn.Cbr _ -> Some Arith_cbr
+  | Insn.Arith _, Insn.Mov _ -> Some Arith_mov
+  | Insn.Push _, Insn.Push _ -> Some Push_push
+  | Insn.Push _, Insn.Call _ -> Some Push_call
+  | Insn.Enter _, Insn.Mov _ -> Some Enter_mov
+  | Insn.Wbar _, Insn.Mov _ -> Some Wbar_mov
+  | _ -> None
+
+(** Fusion legality and kind for the pair starting at [i], given the
+    [targets] map of the same code array. *)
+let fusible (code : Insn.t array) (tgt : bool array) i : pair_kind option =
+  if i + 1 >= Array.length code then None
+  else if tgt.(i + 1) then None
+  else if not (falls_through code.(i)) then None
+  else classify_pair code.(i) code.(i + 1)

@@ -31,7 +31,7 @@ type t =
   | Jmp of int
   | Push of operand
   | Call of callee
-  | Enter of { frame_size : int; saves : int list }
+  | Enter of { frame_size : int; saves : int array }
       (* prologue: push FP; FP := SP; save callee-saved regs at FP-1..;
          zero the rest of the frame; SP := FP - frame_size *)
   | Leave (* restore saves; SP := FP; FP := pop *)
@@ -118,7 +118,7 @@ let pp ?(callee_name = fun _ -> None) fmt = function
   | Call (Crt rc) -> Format.fprintf fmt "call %s" (Mir.Ir.rt_name rc)
   | Enter { frame_size; saves } ->
       Format.fprintf fmt "enter %d, saves=[%s]" frame_size
-        (String.concat ";" (List.map Reg.name saves))
+        (String.concat ";" (List.map Reg.name (Array.to_list saves)))
   | Leave -> Format.fprintf fmt "leave"
   | Ret n -> Format.fprintf fmt "ret %d" n
   | Wbar o -> Format.fprintf fmt "wbar %a" pp_operand o

@@ -20,7 +20,7 @@ type proc_info = {
   pi_code_end : int; (* one past the last instruction *)
   pi_frame_size : int;
   pi_nargs : int;
-  pi_saves : (int * int) list; (* (reg, FP-relative offset) *)
+  pi_saves : (int * int) array; (* (reg, FP-relative offset) *)
 }
 
 type t = {
@@ -157,7 +157,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
           pi_code_end = code_end;
           pi_frame_size = o.Codegen.Select.of_frame.Codegen.Frame.frame_size;
           pi_nargs = o.Codegen.Select.of_frame.Codegen.Frame.nparams;
-          pi_saves = o.Codegen.Select.of_frame.Codegen.Frame.save_offs;
+          pi_saves = Array.of_list o.Codegen.Select.of_frame.Codegen.Frame.save_offs;
         })
       outs
   in

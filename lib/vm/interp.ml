@@ -363,8 +363,14 @@ let exec_rt t (rc : Mir.Ir.rt_call) =
       if p = 0 then raise (Guest_error "PutText: NIL")
       else begin
         let len = read t (p + 1) in
-        for i = 0 to len - 1 do
-          Buffer.add_char t.out (Char.chr (read t (p + 2 + i) land 0xff))
+        (* One range check for the whole payload, then a single unchecked
+           append pass — the bounds-checked [read] used to run once per
+           character. *)
+        if len < 0 || p + 2 + len > Array.length t.mem then
+          Vm_error.fail "memory read out of range: %d" (p + 2 + len);
+        let mem = t.mem in
+        for a = p + 2 to p + 2 + len - 1 do
+          Buffer.add_char t.out (Char.chr (Array.unsafe_get mem a land 0xff))
         done
       end
   | Mir.Ir.Rt_put_ln -> Buffer.add_char t.out '\n'
@@ -380,12 +386,37 @@ let exec_rt t (rc : Mir.Ir.rt_call) =
 
 let sentinel_ret = -1
 
+(** Record a generational write barrier against the effective address of a
+    just-stored heap slot. Shared by both execution engines; a no-op
+    outside generational mode (the caller has already matched [t.gen]). *)
+let wbar_record t (g : gen_state) a =
+  g.barrier_execs <- g.barrier_execs + 1;
+  (* Only a store into the old generation can create an old→young
+     reference; the dirty byte dedups repeated stores to a slot. *)
+  if a >= t.from_base && a < g.nursery_base then begin
+    let d = a - t.image.Image.heap_base in
+    if Bytes.get g.dirty d = '\000' then begin
+      Bytes.set g.dirty d '\001';
+      if g.remset_len = Array.length g.remset then begin
+        let bigger = Array.make (2 * g.remset_len) 0 in
+        Array.blit g.remset 0 bigger 0 g.remset_len;
+        g.remset <- bigger
+      end;
+      g.remset.(g.remset_len) <- a;
+      g.remset_len <- g.remset_len + 1;
+      g.remset_inserts <- g.remset_inserts + 1
+    end
+  end
+
 let reset t =
   Array.fill t.regs 0 (Array.length t.regs) 0;
   set_sp t t.image.Image.stack_top;
   push t sentinel_ret;
   t.pc <- t.image.Image.procs.(t.image.Image.main_fid).Image.pi_entry;
-  t.halted <- false
+  t.halted <- false;
+  (* A fresh run starts with empty output; without this, repeated [run]s
+     on one machine accumulate every previous run's output. *)
+  Buffer.clear t.out
 
 let step t =
   let insn = t.image.Image.code.(t.pc) in
@@ -417,10 +448,12 @@ let step t =
       set_fp t (sp t);
       let f = fp t in
       if f - frame_size < t.image.Image.stack_base then Vm_error.fail "stack overflow";
-      for i = 1 to frame_size do
-        t.mem.(f - i) <- 0
+      (* Block fill of the frame, then the save slots; the old word-by-word
+         zero loop and the [List.iteri] closure both cost on every call. *)
+      Array.fill t.mem (f - frame_size) frame_size 0;
+      for i = 0 to Array.length saves - 1 do
+        t.mem.(f - 1 - i) <- t.regs.(Array.unsafe_get saves i)
       done;
-      List.iteri (fun i r -> t.mem.(f - 1 - i) <- t.regs.(r)) saves;
       set_sp t (f - frame_size);
       t.pc <- t.pc + 1
   | I.Leave ->
@@ -430,7 +463,11 @@ let step t =
          annotation — one array load, where a binary search used to run on
          every procedure return. *)
       let fid = t.image.Image.code_fid.(t.pc) in
-      List.iter (fun (r, off) -> t.regs.(r) <- read t (f + off)) t.image.Image.procs.(fid).Image.pi_saves;
+      let saves = t.image.Image.procs.(fid).Image.pi_saves in
+      for i = 0 to Array.length saves - 1 do
+        let r, off = Array.unsafe_get saves i in
+        t.regs.(r) <- read t (f + off)
+      done;
       set_sp t f;
       set_fp t (read t f);
       set_sp t (sp t + 1);
@@ -441,30 +478,18 @@ let step t =
       if ra = sentinel_ret then t.halted <- true else t.pc <- ra
   | I.Wbar o ->
       (match t.gen with
-      | Some g ->
-          g.barrier_execs <- g.barrier_execs + 1;
-          let a = addr_of t o in
-          (* Only a store into the old generation can create an old→young
-             reference; the dirty byte dedups repeated stores to a slot. *)
-          if a >= t.from_base && a < g.nursery_base then begin
-            let d = a - t.image.Image.heap_base in
-            if Bytes.get g.dirty d = '\000' then begin
-              Bytes.set g.dirty d '\001';
-              if g.remset_len = Array.length g.remset then begin
-                let bigger = Array.make (2 * g.remset_len) 0 in
-                Array.blit g.remset 0 bigger 0 g.remset_len;
-                g.remset <- bigger
-              end;
-              g.remset.(g.remset_len) <- a;
-              g.remset_len <- g.remset_len + 1;
-              g.remset_inserts <- g.remset_inserts + 1
-            end
-          end
+      | Some g -> wbar_record t g (addr_of t o)
       | None -> ());
       t.pc <- t.pc + 1
   | I.Trap msg -> raise (Guest_error msg)
 
-let run ?(fuel = max_int) t =
+(** Shared run wrapper: reset, telemetry span, counter sync and the
+    out-of-fuel check — everything around the dispatch itself, which each
+    execution engine supplies as [loop t ~fuel] (the reference switch loop
+    below, or {!Threaded}'s pre-translated closure dispatch). Keeping one
+    wrapper guarantees both engines run over identical allocation,
+    collection and generational state. *)
+let run_with ~loop ?(fuel = max_int) t =
   reset t;
   let icount0 = t.icount in
   let bar0, rs0 =
@@ -473,7 +498,6 @@ let run ?(fuel = max_int) t =
     | None -> (0, 0)
   in
   Telemetry.Trace.begin_span ~cat:"vm" "vm.run";
-  let budget = ref fuel in
   Fun.protect
     ~finally:(fun () ->
       Telemetry.Metrics.incr ~by:(t.icount - icount0) c_instructions;
@@ -485,11 +509,16 @@ let run ?(fuel = max_int) t =
       Telemetry.Trace.end_span
         ~args:[ ("instructions", Telemetry.Json.Int (t.icount - icount0)) ]
         ())
-    (fun () ->
-      while (not t.halted) && !budget > 0 do
-        step t;
-        decr budget
-      done);
+    (fun () -> loop t ~fuel);
   if not t.halted then Vm_error.fail "out of fuel after %d instructions" fuel
+
+let switch_loop t ~fuel =
+  let budget = ref fuel in
+  while (not t.halted) && !budget > 0 do
+    step t;
+    decr budget
+  done
+
+let run ?fuel t = run_with ~loop:switch_loop ?fuel t
 
 let output t = Buffer.contents t.out

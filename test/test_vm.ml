@@ -190,6 +190,18 @@ let test_fuel () =
   | exception Vm.Vm_error.Error _ -> ()
   | _ -> Alcotest.fail "expected out-of-fuel"
 
+(* Regression: [Interp.reset] must clear buffered guest output — a reused
+   machine used to replay the previous run's text in front of its own. *)
+let test_reset_clears_output () =
+  let img = Driver.Compile.compile (wrap "BEGIN PutInt(7) END") in
+  let st = Vm.Interp.create img in
+  Vm.Interp.run st;
+  check Alcotest.string "first run" "7" (Vm.Interp.output st);
+  Vm.Interp.reset st;
+  Vm.Interp.run st;
+  check Alcotest.string "output does not accumulate across reset" "7"
+    (Vm.Interp.output st)
+
 (* ------------------------------------------------------------------ *)
 (* Instruction encoding model                                          *)
 (* ------------------------------------------------------------------ *)
@@ -244,6 +256,7 @@ let () =
           Alcotest.test_case "stack overflow" `Quick test_stack_overflow;
           Alcotest.test_case "heap exhaustion" `Quick test_heap_exhaustion;
           Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "reset clears output" `Quick test_reset_clears_output;
         ] );
       ( "encoding",
         [
