@@ -8,9 +8,10 @@ DUNE ?= dune
 TRACE_OUT := _build/smoke.trace.json
 FAULT_ITERS ?= 15
 FAULT_OUT := _build/fault-report.json
+PROFILE_OUT := _build/smoke.profile.json
 
-.PHONY: all build test test-verified test-gen test-switch smoke fault check \
-	bench bench-perf bench-gen bench-mutator clean
+.PHONY: all build test test-verified test-gen test-switch smoke fault profile \
+	check bench bench-perf bench-gen bench-mutator bench-pauses clean
 
 all: build
 
@@ -52,7 +53,20 @@ fault: build
 	$(DUNE) exec tools/faultgen.exe -- --iters $(FAULT_ITERS) --no-cross-check \
 	  --out $(FAULT_OUT:.json=.nocross.json)
 
-check: build test smoke fault
+# Profiling smoke test: a collecting run with the allocation-site profiler
+# and periodic heap censuses on, in both collector modes, validating the
+# emitted profile document (schema, site resolution, survival rates in
+# range, bucket counts summing to pause counts) and rendering it.
+profile: build
+	$(DUNE) exec bin/mmrun.exe -- --heap 2000 --profile $(PROFILE_OUT) \
+	  --census-every 8 examples/sample.m3l > /dev/null
+	$(DUNE) exec tools/validate_trace.exe -- --profile $(PROFILE_OUT)
+	$(DUNE) exec tools/profview.exe -- $(PROFILE_OUT) > /dev/null
+	$(DUNE) exec bin/mmrun.exe -- --gen --heap 4000 --profile \
+	  $(PROFILE_OUT:.json=.gen.json) --census-every 8 examples/sample.m3l > /dev/null
+	$(DUNE) exec tools/validate_trace.exe -- --profile $(PROFILE_OUT:.json=.gen.json)
+
+check: build test smoke fault profile
 	@echo "check: ok"
 
 bench: build
@@ -70,6 +84,11 @@ bench-gen: build
 # writes BENCH_4.json.
 bench-mutator: build
 	$(DUNE) exec bench/main.exe -- mutator
+
+# Pause-time distributions (p50/p90/p99/max) per collector mode on destroy
+# and takl, plus the ballast survival-profile run; writes BENCH_5.json.
+bench-pauses: build
+	$(DUNE) exec bench/main.exe -- pauses
 
 clean:
 	$(DUNE) clean

@@ -1132,6 +1132,174 @@ let mutator () =
   printf "wrote %s\n" out_path
 
 (* ------------------------------------------------------------------ *)
+(* PAUSES: pause-time distributions per collector mode (BENCH_5.json)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability baseline for the incremental-collection trajectory
+   item: per-mode pause percentiles (p50/p90/p99/max from the log-scaled
+   bucket histograms, immune to the sample cap) on the gc-intensive destroy
+   and takl configurations, under full compaction and under generational
+   collection with the minor/full split broken out. A second section runs
+   destroy with a long-lived ballast list under the allocation-site
+   profiler and records that the profile ranks the ballast site's survival
+   rate above every short-lived tree site — the signal the pretenuring
+   item consumes. Emits BENCH_5.json.
+
+   Environment knobs (used by the CI profiling job):
+     BENCH_PAUSE_ITERS    destroy replacement iterations (default 400)
+     BENCH_PAUSE_BALLAST  ballast list length for the profile run (default 600)
+     BENCH_PAUSE_OUT      output JSON path (default BENCH_5.json) *)
+
+let pauses () =
+  hr ();
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_PAUSE_ITERS" 400 in
+  let out_path =
+    Option.value ~default:"BENCH_5.json" (Sys.getenv_opt "BENCH_PAUSE_OUT")
+  in
+  printf "PAUSES: pause-time distributions per collector mode\n\n";
+  let pct_json name =
+    match T.Metrics.find_histogram name with
+    | Some h when h.T.Metrics.h_count > 0 ->
+        T.Json.Obj
+          [
+            ("count", T.Json.Int h.T.Metrics.h_count);
+            ("p50_ns", T.Json.Float (T.Metrics.percentile h 0.50));
+            ("p90_ns", T.Json.Float (T.Metrics.percentile h 0.90));
+            ("p99_ns", T.Json.Float (T.Metrics.percentile h 0.99));
+            ("max_ns", T.Json.Float h.T.Metrics.h_max);
+            ("mean_ns", T.Json.Float (T.Metrics.mean h));
+          ]
+    | _ -> T.Json.Obj [ ("count", T.Json.Int 0) ]
+  in
+  let print_pct label name =
+    match T.Metrics.find_histogram name with
+    | Some h when h.T.Metrics.h_count > 0 ->
+        printf "    %-6s n=%-5d p50 %8.1f us  p90 %8.1f us  p99 %8.1f us  max %8.1f us\n"
+          label h.T.Metrics.h_count
+          (T.Metrics.percentile h 0.50 /. 1e3)
+          (T.Metrics.percentile h 0.90 /. 1e3)
+          (T.Metrics.percentile h 0.99 /. 1e3)
+          (h.T.Metrics.h_max /. 1e3)
+    | _ -> ()
+  in
+  let progs =
+    [
+      ( "destroy",
+        Programs.Destroy_src.make ~branch:4 ~depth:5 ~replace_depth:2 ~iterations:iters,
+        12000 );
+      ( "takl",
+        Programs.Takl_src.make ~n1:14 ~n2:10 ~n3:4
+          ~repeats:(getenv_int "BENCH_PAUSE_TAKL_REPEATS" 60)
+          ~ballast:(getenv_int "BENCH_PAUSE_TAKL_BALLAST" 100),
+        getenv_int "BENCH_PAUSE_TAKL_HEAP" 1200 );
+    ]
+  in
+  let run_mode ~src ~heap ~gen =
+    let img = compile ~optimize:true ~heap src in
+    let result = ref None in
+    with_telemetry (fun () ->
+        let st = Vm.Interp.create img in
+        if gen then Gc.Nursery.install st else Gc.Cheney.install st;
+        Vm.Interp.run st;
+        let c = T.Metrics.counter_value in
+        printf "  %s:\n" (if gen then "gen" else "flat");
+        print_pct "all" "gc.pause_ns";
+        print_pct "minor" "gc.minor_pause_ns";
+        print_pct "full" "gc.major_pause_ns";
+        result :=
+          Some
+            ( Vm.Interp.output st,
+              T.Json.Obj
+                [
+                  ("collections", T.Json.Int (c "gc.collections"));
+                  ("minor_collections", T.Json.Int (c "gc.minor_collections"));
+                  ("major_collections", T.Json.Int (c "gc.major_collections"));
+                  ("pause_ns", pct_json "gc.pause_ns");
+                  ("minor_pause_ns", pct_json "gc.minor_pause_ns");
+                  ("major_pause_ns", pct_json "gc.major_pause_ns");
+                ] ));
+    Option.get !result
+  in
+  let per_prog =
+    List.map
+      (fun (name, src, heap) ->
+        printf "%s (heap %d words/semispace):\n" name heap;
+        let out_flat, flat = run_mode ~src ~heap ~gen:false in
+        let out_gen, gen = run_mode ~src ~heap ~gen:true in
+        if out_flat <> out_gen then printf "  !! OUTPUT MISMATCH between modes\n";
+        printf "\n";
+        ( name,
+          T.Json.Obj
+            [
+              ("heap_words", T.Json.Int heap);
+              ("flat", flat);
+              ("gen", gen);
+              ("outputs_match", T.Json.Bool (out_flat = out_gen));
+            ] ))
+      progs
+  in
+  (* --- the survival-profile section: destroy with a long-lived ballast
+     list, flat mode so every collection copies every survivor. --- *)
+  let ballast = getenv_int "BENCH_PAUSE_BALLAST" 600 in
+  let prof_src =
+    Programs.Destroy_src.make_ballast ~ballast ~branch:4 ~depth:5 ~replace_depth:2
+      ~iterations:iters
+  in
+  let img = compile ~optimize:true ~heap:12000 prof_src in
+  let p = Driver.Compile.profile_for img in
+  with_telemetry (fun () -> ignore (Driver.Compile.run ~profile:p img));
+  let rate_of pred =
+    Array.to_list (Array.mapi (fun i s -> (s, p.Profile.stats.(i))) p.Profile.sites)
+    |> List.filter (fun ((s : Profile.site), _) -> pred s.Profile.s_proc)
+    |> List.map (fun (_, st) -> Profile.survival_rate st)
+  in
+  let ballast_rate =
+    match rate_of (fun proc -> proc = "MkBallast") with [ r ] -> r | _ -> 0.0
+  in
+  let tree_rates = rate_of (fun proc -> proc = "MkTree") in
+  let tree_max = List.fold_left max 0.0 tree_rates in
+  let ordering_ok = tree_rates <> [] && ballast_rate > tree_max in
+  printf "profile (destroy + %d-node ballast, flat):\n" ballast;
+  printf "  ballast site survival : %5.1f%%\n" (100.0 *. ballast_rate);
+  printf "  max tree site survival: %5.1f%%  %s\n\n" (100.0 *. tree_max)
+    (if ordering_ok then "(ballast > cons: ok)" else "(!! ordering violated)");
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "pause_distributions");
+        ( "params",
+          T.Json.Obj
+            [
+              ("destroy_iterations", T.Json.Int iters);
+              ("ballast", T.Json.Int ballast);
+              ("optimize", T.Json.Bool true);
+              ( "clock_granularity_ns",
+                T.Json.Int (Int64.to_int (T.Control.granularity_ns ())) );
+            ] );
+        ("programs", T.Json.Obj per_prog);
+        ( "survival_profile",
+          T.Json.Obj
+            [
+              ("program", T.Json.Str "destroy_ballast");
+              ("ballast_survival_rate", T.Json.Float ballast_rate);
+              ("max_tree_survival_rate", T.Json.Float tree_max);
+              ("ballast_above_cons", T.Json.Bool ordering_ok);
+              ("profile", Profile.to_json p);
+            ] );
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1169,6 +1337,7 @@ let () =
           | "perf" -> perf ()
           | "gen" -> gen_bench ()
           | "mutator" -> mutator ()
+          | "pauses" -> pauses ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

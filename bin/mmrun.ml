@@ -80,6 +80,24 @@ let print_gc_stats () =
         (int_of words i) (int_of objects i) (int_of frames i)
     done
   end;
+  (* Pause-time distribution from the log-scaled bucket histograms —
+     immune to the raw-sample cap, so the quantiles stay exact-enough
+     (one sub-bucket, 25%) at any collection count. *)
+  let pct_row label name =
+    match T.Metrics.find_histogram name with
+    | Some h when h.T.Metrics.h_count > 0 ->
+        Printf.eprintf
+          "pauses %-6s: n=%-6d p50 %8.1f us  p90 %8.1f us  p99 %8.1f us  max %8.1f us\n"
+          label h.T.Metrics.h_count
+          (T.Metrics.percentile h 0.50 /. 1e3)
+          (T.Metrics.percentile h 0.90 /. 1e3)
+          (T.Metrics.percentile h 0.99 /. 1e3)
+          (h.T.Metrics.h_max /. 1e3)
+    | _ -> ()
+  in
+  pct_row "all" "gc.pause_ns";
+  pct_row "minor" "gc.minor_pause_ns";
+  pct_row "full" "gc.major_pause_ns";
   if minors > 0 then begin
     let h name = T.Metrics.histogram name in
     let minor_pause = h "gc.minor_pause_ns" and major_pause = h "gc.major_pause_ns" in
@@ -126,7 +144,7 @@ let print_gc_stats () =
 
 let run file optimize checks no_gc_restrict heap stack collector gen nursery
     no_barrier_elim no_threaded gc_stats trace metrics no_decode_cache verify_heap
-    verify_pre fuel =
+    verify_pre profile census_every fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   if no_threaded then Vm.Threaded.set_enabled false;
   if verify_heap then Gc.Verify.set_post true;
@@ -150,16 +168,36 @@ let run file optimize checks no_gc_restrict heap stack collector gen nursery
     | "none" -> Driver.Compile.No_gc
     | other -> failwith ("unknown collector " ^ other)
   in
-  if gc_stats || metrics || trace <> None then T.Control.enable ();
+  if gc_stats || metrics || trace <> None || profile <> None then T.Control.enable ();
   try
     let image = Driver.Compile.compile ~options (read_file file) in
+    (* Attach a profiler only when asked: with --profile off the machine
+       carries no profiler and the run is byte-identical to pre-profiling
+       behavior. *)
+    let prof =
+      match profile with
+      | None -> None
+      | Some _ ->
+          let p = Driver.Compile.profile_for image in
+          Profile.set_census_every p census_every;
+          Some p
+    in
     let t0 = T.Control.now_ns () in
-    let r = Driver.Compile.run ~collector ?nursery_words:nursery ~fuel image in
+    let r =
+      Driver.Compile.run ~collector ?nursery_words:nursery ?profile:prof ~fuel image
+    in
     let elapsed_ns = Int64.sub (T.Control.now_ns ()) t0 in
     print_string r.Driver.Compile.output;
     (match trace with
     | Some path -> T.Trace.write_chrome_file path
     | None -> ());
+    (match (profile, prof) with
+    | Some path, Some p ->
+        let oc = open_out path in
+        output_string oc (T.Json.to_string (Profile.to_json p));
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
     if gc_stats then begin
       print_engine_stats ~engine:r.Driver.Compile.engine ~elapsed_ns ();
       print_gc_stats ()
@@ -264,6 +302,24 @@ let verify_pre =
     value & flag
     & info [ "verify-pre" ]
         ~doc:"Also run the heap verifier before each collection moves anything.")
+let profile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write a versioned JSON allocation profile: per-site allocation \
+           counts and survival rates (sites carry their m3l source location), \
+           pause-time distributions, and any heap censuses. Off by default; \
+           when off, execution is byte-identical to a build without profiling.")
+let census_every =
+  Arg.(
+    value & opt int 0
+    & info [ "census-every" ] ~docv:"N"
+        ~doc:
+          "With --profile: take a heap census (live objects and words by type \
+           descriptor and by allocation site) after every Nth collection. 0 \
+           disables censuses.")
 let fuel =
   Arg.(value & opt int 1_000_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
 
@@ -275,6 +331,6 @@ let cmd =
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
        $ gen $ nursery $ no_barrier_elim $ no_threaded $ gc_stats $ trace $ metrics
-       $ no_decode_cache $ verify_heap $ verify_pre $ fuel))
+       $ no_decode_cache $ verify_heap $ verify_pre $ profile $ census_every $ fuel))
 
 let () = exit (Cmd.eval cmd)

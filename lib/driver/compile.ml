@@ -82,8 +82,25 @@ type run_result = {
   gc : Vm.Interp.gc_stats;
 }
 
-let run ?(collector = Precise) ?nursery_words ?(fuel = 200_000_000) (image : Vm.Image.t) :
-    run_result =
+(** A fresh profiler for an image: the static site table converted to the
+    profiler's own site records (so [lib/profile] stays below the compiler
+    and VM in the dependency order). Attach it via [run ~profile]. *)
+let profile_for (image : Vm.Image.t) : Profile.t =
+  Profile.create
+    (Array.map
+       (fun (s : Mir.Ir.alloc_site) ->
+         {
+           Profile.s_id = s.Mir.Ir.as_id;
+           s_proc = s.Mir.Ir.as_proc;
+           s_line = s.Mir.Ir.as_line;
+           s_col = s.Mir.Ir.as_col;
+           s_tdesc = s.Mir.Ir.as_tdesc;
+           s_open = s.Mir.Ir.as_open;
+         })
+       image.Vm.Image.alloc_sites)
+
+let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
+    (image : Vm.Image.t) : run_result =
   (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
      live pointers in forms the tables cannot describe; collecting while it
      runs can corrupt the heap. Warn whenever such output is executed under
@@ -93,6 +110,7 @@ let run ?(collector = Precise) ?nursery_words ?(fuel = 200_000_000) (image : Vm.
       "executing --no-gc-restrict output with a collector installed: code is \
        not gc-safe by construction; a collection may corrupt the heap";
   let st = Vm.Interp.create image in
+  st.Vm.Interp.prof <- profile;
   let nursery_words =
     match nursery_words with
     | Some _ as w -> w
@@ -124,5 +142,6 @@ let run ?(collector = Precise) ?nursery_words ?(fuel = 200_000_000) (image : Vm.
   }
 
 (** Compile and run in one step (tests and examples). *)
-let run_source ?(options = default_options) ?collector ?nursery_words ?fuel source =
-  run ?collector ?nursery_words ?fuel (compile ~options source)
+let run_source ?(options = default_options) ?collector ?nursery_words ?profile ?fuel
+    source =
+  run ?collector ?nursery_words ?profile ?fuel (compile ~options source)

@@ -1,0 +1,66 @@
+(** Heap census: a linear walk over the live heap regions tallying objects
+    and words by type descriptor and by allocation site.
+
+    The walk is independent of both the collector and {!Verify} — it parses
+    object headers directly off the allocation frontiers — so a test can
+    cross-check its totals against the verifier's live-heap parse without
+    the two sharing any code. Taken at collection boundaries (right after a
+    collection retires the garbage) the census is exactly the live heap. *)
+
+(** Header-driven size of the object at [addr]; [None] when the header is
+    not a plausible type descriptor (a corrupt heap — the verifier's
+    department, not ours). *)
+let object_size (st : Vm.Interp.t) addr =
+  let layouts = st.Vm.Interp.image.Vm.Image.layouts in
+  let tdid = st.Vm.Interp.mem.(addr) in
+  if tdid < 0 || tdid >= Array.length layouts then None
+  else
+    match layouts.(tdid) with
+    | Rt.Typedesc.Lfixed { words; _ } -> Some (tdid, words)
+    | Rt.Typedesc.Lopen { elt_size; _ } ->
+        let len = st.Vm.Interp.mem.(addr + 1) in
+        if len < 0 then None
+        else Some (tdid, Rt.Typedesc.open_header_words + (len * elt_size))
+
+(** Take one census of the machine's live regions — flat mode walks
+    [from_base, alloc); generational mode walks the old generation and the
+    nursery separately — and record it into the profiler. *)
+let take (st : Vm.Interp.t) (p : Profile.t) =
+  let by_tdesc = Hashtbl.create 32 in
+  let by_site = Hashtbl.create 64 in
+  let objects = ref 0 in
+  let words = ref 0 in
+  let tally tbl key w =
+    let o, ww = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (o + 1, ww + w)
+  in
+  let walk lo hi =
+    let a = ref lo in
+    let ok = ref true in
+    while !ok && !a < hi do
+      match object_size st !a with
+      | None -> ok := false
+      | Some (tdid, sz) ->
+          incr objects;
+          words := !words + sz;
+          tally by_tdesc tdid sz;
+          tally by_site (Profile.site_of_addr p !a) sz;
+          a := !a + sz
+    done
+  in
+  (match st.Vm.Interp.gen with
+  | Some g ->
+      walk st.Vm.Interp.from_base g.Vm.Interp.old_alloc;
+      walk g.Vm.Interp.nursery_base g.Vm.Interp.nursery_alloc
+  | None -> walk st.Vm.Interp.from_base st.Vm.Interp.alloc);
+  let dump tbl =
+    Hashtbl.fold (fun k (o, w) acc -> (k, o, w) :: acc) tbl [] |> List.sort compare
+  in
+  Profile.record_census p
+    {
+      Profile.c_collection = p.Profile.collections;
+      c_objects = !objects;
+      c_words = !words;
+      c_by_tdesc = dump by_tdesc;
+      c_by_site = dump by_site;
+    }

@@ -100,6 +100,9 @@ let forward c v =
       c.st.Vm.Interp.gc.Vm.Interp.objects_copied <-
         c.st.Vm.Interp.gc.Vm.Interp.objects_copied + 1;
       T.Metrics.incr c_objects;
+      (match c.st.Vm.Interp.prof with
+      | Some p -> Profile.on_copy p ~src:v ~dst ~words:size
+      | None -> ());
       dst
     end
   end
@@ -153,6 +156,9 @@ let collect (st : Vm.Interp.t) ~needed =
   let gcs = st.Vm.Interp.gc in
   gcs.Vm.Interp.collections <- gcs.Vm.Interp.collections + 1;
   T.Metrics.incr c_collections;
+  (match st.Vm.Interp.prof with
+  | Some p -> Profile.begin_collection p ~minor:false
+  | None -> ());
   let objects0 = gcs.Vm.Interp.objects_copied in
   T.Trace.begin_span ~cat:"gc"
     ~args:[ ("collection", T.Json.Int gcs.Vm.Interp.collections) ]
@@ -248,6 +254,13 @@ let collect (st : Vm.Interp.t) ~needed =
     T.Metrics.observe h_major_words (float_of_int words);
     T.Metrics.observe h_is_minor 0.0
   end;
+  (* Lifetime accounting: whatever is still keyed in the evacuated
+     from-space was not forwarded, i.e. it died in this collection. *)
+  (match st.Vm.Interp.prof with
+  | Some p ->
+      Profile.end_collection p ~src_lo:c.src_lo ~src_hi:c.src_hi;
+      if Profile.census_due p then Census.take st p
+  | None -> ());
   (* Post-pass, after the flip so it sees exactly the heap the mutator is
      about to resume on. *)
   match derived_snap with

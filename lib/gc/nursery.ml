@@ -56,6 +56,9 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   gcs.Vm.Interp.minor_collections <- gcs.Vm.Interp.minor_collections + 1;
   T.Metrics.incr c_collections;
   T.Metrics.incr c_minor;
+  (match st.Vm.Interp.prof with
+  | Some p -> Profile.begin_collection p ~minor:true
+  | None -> ());
   let objects0 = gcs.Vm.Interp.objects_copied in
   T.Trace.begin_span ~cat:"gc"
     ~args:[ ("collection", T.Json.Int gcs.Vm.Interp.collections) ]
@@ -149,6 +152,14 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
     T.Metrics.observe h_is_minor 1.0;
     T.Metrics.observe h_remset (float_of_int remset_roots)
   end;
+  (* Lifetime accounting over the evacuated nursery range (captured in the
+     copier before the nursery was reset): survivors were re-keyed to the
+     old generation by [Cheney.forward]; the rest died young. *)
+  (match st.Vm.Interp.prof with
+  | Some p ->
+      Profile.end_collection p ~src_lo:c.Cheney.src_lo ~src_hi:c.Cheney.src_hi;
+      if Profile.census_due p then Census.take st p
+  | None -> ());
   match derived_snap with
   | Some snap -> ignore (Verify.check st ~phase:"minor-post" ~frames ~derived:snap ())
   | None -> ()

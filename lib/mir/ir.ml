@@ -23,10 +23,18 @@ type kind =
   | Kstack (* address of a stack slot, global, or static text: never moves *)
   | Kderived of Deriv.t (* pointer arithmetic over heap pointers *)
 
-(** Runtime (native) routines. Only the allocating ones induce gc-points. *)
+(** Runtime (native) routines. Only the allocating ones induce gc-points.
+
+    The allocating calls carry their static {e allocation-site id}: a
+    stable index into the program's {!alloc_site} table assigned at
+    lowering. The id rides inside the instruction through codegen and both
+    execution engines, so the profiler can attribute every runtime
+    allocation to a source location; it has no operational effect (the
+    byte-size model prices every call identically) and with profiling off
+    it is never read. *)
 type rt_call =
-  | Rt_alloc (* (tdesc_id) -> ptr ; fixed-size object *)
-  | Rt_alloc_open (* (tdesc_id, length) -> ptr ; open array *)
+  | Rt_alloc of int (* (tdesc_id) -> ptr ; fixed-size object; site id *)
+  | Rt_alloc_open of int (* (tdesc_id, length) -> ptr ; open array; site id *)
   | Rt_gc_check (* loop gc-point: may trigger a collection *)
   | Rt_put_int
   | Rt_put_char
@@ -37,13 +45,13 @@ type rt_call =
   | Rt_nil_error
 
 let rt_allocates = function
-  | Rt_alloc | Rt_alloc_open | Rt_gc_check -> true
+  | Rt_alloc _ | Rt_alloc_open _ | Rt_gc_check -> true
   | Rt_put_int | Rt_put_char | Rt_put_text | Rt_put_ln | Rt_halt | Rt_bounds_error
   | Rt_nil_error -> false
 
 let rt_name = function
-  | Rt_alloc -> "rt_alloc"
-  | Rt_alloc_open -> "rt_alloc_open"
+  | Rt_alloc _ -> "rt_alloc"
+  | Rt_alloc_open _ -> "rt_alloc_open"
   | Rt_gc_check -> "rt_gc_check"
   | Rt_put_int -> "rt_put_int"
   | Rt_put_char -> "rt_put_char"
@@ -127,6 +135,19 @@ type global_info = {
   g_ptrs : int list; (* pointer offsets within the global, for roots *)
 }
 
+(** A static allocation site: one [NEW] in the source, identified by the
+    procedure it lowers in and its source position. Site ids are dense
+    (index = id) and stable across optimization — passes may move or
+    delete an allocating call but never renumber it. *)
+type alloc_site = {
+  as_id : int;
+  as_proc : string; (* enclosing procedure name *)
+  as_line : int;
+  as_col : int;
+  as_tdesc : int; (* type descriptor allocated here *)
+  as_open : bool; (* open-array (NEW with length) site *)
+}
+
 type program = {
   pname : string;
   globals : global_info array;
@@ -134,6 +155,7 @@ type program = {
   tdescs : Rt.Typedesc.t array;
   funcs : func array; (* index = fid *)
   main_fid : int;
+  alloc_sites : alloc_site array; (* index = site id *)
 }
 
 (* ------------------------------------------------------------------ *)

@@ -13,7 +13,24 @@ type pb = {
   globals : Ir.global_info array;
   global_ids : (int, int) Hashtbl.t; (* var_id -> global index *)
   nprocs : int; (* user procs; main gets fid = nprocs *)
+  alloc_sites : Ir.alloc_site Growarr.t; (* one entry per lowered NEW *)
 }
+
+(* Register a static allocation site; the returned id is baked into the
+   allocating call instruction. *)
+let new_site pb ~proc ~(loc : M3l.Srcloc.t) ~tdesc ~is_open =
+  let id = Growarr.length pb.alloc_sites in
+  ignore
+    (Growarr.push pb.alloc_sites
+       {
+         Ir.as_id = id;
+         as_proc = proc;
+         as_line = loc.M3l.Srcloc.line;
+         as_col = loc.M3l.Srcloc.col;
+         as_tdesc = tdesc;
+         as_open = is_open;
+       });
+  id
 
 let intern_text pb s =
   match Ints.Smap.find_opt s pb.text_ids with
@@ -31,6 +48,7 @@ type bb = { mutable rev_instrs : Ir.instr list; mutable bterm : Ir.term option }
 
 type fb = {
   pb : pb;
+  proc_name : string; (* for allocation-site attribution *)
   checks : bool;
   blocks : bb Growarr.t;
   mutable cur : int; (* current block label *)
@@ -337,7 +355,7 @@ let rec lower_expr fb (e : T.texpr) : Ir.operand =
       match lower_call fb call with
       | Some t -> Ir.Otemp t
       | None -> failwith "Lower: value call returned nothing")
-  | T.Tnew (referent, len) -> lower_new fb referent len
+  | T.Tnew (referent, len) -> lower_new fb ~loc:e.T.loc referent len
   | T.Tnumber inner -> (
       match inner.T.desc with
       | T.Tderef base ->
@@ -454,7 +472,8 @@ and lower_index fb (base : T.texpr) (idx : T.texpr) : place =
       | _ -> failwith "Lower: open array place is not a dereference")
   | _ -> failwith "Lower: indexing a non-array"
 
-and lower_new fb (referent : Ty.ty) (len : T.texpr option) : Ir.operand =
+and lower_new fb ~(loc : M3l.Srcloc.t) (referent : Ty.ty) (len : T.texpr option) :
+    Ir.operand =
   match (referent, len) with
   | Ty.Topen elt, Some n ->
       let tdid =
@@ -463,13 +482,15 @@ and lower_new fb (referent : Ty.ty) (len : T.texpr option) : Ir.operand =
       let on = lower_expr fb n in
       if fb.checks then emit_guard fb Ir.Rlt on (Ir.Oimm 0) (bounds_err_block fb);
       let t = fresh fb Ir.Kptr in
-      emit fb (Ir.Call (Some t, Ir.Crt Ir.Rt_alloc_open, [ Ir.Oimm tdid; on ]));
+      let site = new_site fb.pb ~proc:fb.proc_name ~loc ~tdesc:tdid ~is_open:true in
+      emit fb (Ir.Call (Some t, Ir.Crt (Ir.Rt_alloc_open site), [ Ir.Oimm tdid; on ]));
       Ir.Otemp t
   | Ty.Topen _, None -> failwith "Lower: open NEW without length"
   | fixed, _ ->
       let tdid = Rt.Typedesc.intern fb.pb.tdescs (Rt.Typedesc.of_m3l_type fixed) in
       let t = fresh fb Ir.Kptr in
-      emit fb (Ir.Call (Some t, Ir.Crt Ir.Rt_alloc, [ Ir.Oimm tdid ]));
+      let site = new_site fb.pb ~proc:fb.proc_name ~loc ~tdesc:tdid ~is_open:false in
+      emit fb (Ir.Call (Some t, Ir.Crt (Ir.Rt_alloc site), [ Ir.Oimm tdid ]));
       Ir.Otemp t
 
 and lower_call fb (call : T.call) : Ir.temp option =
@@ -725,6 +746,7 @@ let lower_func pb ~checks ~fid (tp : T.tproc) : Ir.func =
   let fb =
     {
       pb;
+      proc_name = tp.T.sym.T.p_name;
       checks;
       blocks = Growarr.create ~dummy:{ rev_instrs = []; bterm = None };
       cur = 0;
@@ -857,6 +879,17 @@ let program ?(checks = true) (tprog : T.tprogram) : Ir.program =
       globals;
       global_ids;
       nprocs = List.length tprog.T.procs;
+      alloc_sites =
+        Growarr.create
+          ~dummy:
+            {
+              Ir.as_id = 0;
+              as_proc = "";
+              as_line = 0;
+              as_col = 0;
+              as_tdesc = 0;
+              as_open = false;
+            };
     }
   in
   let funcs =
@@ -872,4 +905,5 @@ let program ?(checks = true) (tprog : T.tprogram) : Ir.program =
     tdescs = Rt.Typedesc.to_array pb.tdescs;
     funcs;
     main_fid = pb.nprocs;
+    alloc_sites = Growarr.to_array pb.alloc_sites;
   }

@@ -97,7 +97,7 @@ let operand_fresh st = function Ir.Otemp t -> Iset.mem t st.ft | Ir.Oimm _ -> fa
 (* One instruction's effect on the fresh state. *)
 let transfer (f : Ir.func) (st : state) (i : Ir.instr) : state =
   match i with
-  | Ir.Call (d, Ir.Crt (Ir.Rt_alloc | Ir.Rt_alloc_open), _) ->
+  | Ir.Call (d, Ir.Crt (Ir.Rt_alloc _ | Ir.Rt_alloc_open _), _) ->
       (* The gc-point kills everything; the result is the one fresh temp. *)
       let st = empty_state in
       (match d with Some d -> set_temp st d true | None -> st)

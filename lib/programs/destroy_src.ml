@@ -5,7 +5,30 @@
     collection frequently. The PRNG is a deterministic LCG written in the
     benchmark itself so runs are reproducible. *)
 
-let make ~branch ~depth ~replace_depth ~iterations =
+let gen ~ballast ~branch ~depth ~replace_depth ~iterations =
+  (* The ballast splices are empty strings at [ballast = 0], so the default
+     source is byte-identical to what this generator always produced. With
+     ballast, a linked list allocated from its own distinct site is anchored
+     in a global for the whole run — a long-lived population whose survival
+     rate an allocation profile must rank above the short-lived tree sites. *)
+  let ballast_type =
+    if ballast = 0 then ""
+    else
+      "\n  BallastRec = RECORD\n    v: INTEGER;\n    next: Ballast\n  END;\n\
+      \  Ballast = REF BallastRec;"
+  in
+  let ballast_var = if ballast = 0 then "" else "\n  anchor: Ballast;" in
+  let ballast_proc =
+    if ballast = 0 then ""
+    else
+      "\n\nPROCEDURE MkBallast(n: INTEGER): Ballast;\nVAR head, b: Ballast; i: INTEGER;\n\
+       BEGIN\n  head := NIL;\n  FOR i := 1 TO n DO\n    b := NEW(Ballast);\n\
+      \    b.v := i;\n    b.next := head;\n    head := b\n  END;\n  RETURN head\n\
+       END MkBallast;"
+  in
+  let ballast_init =
+    if ballast = 0 then "" else Printf.sprintf "\n  anchor := MkBallast(%d);" ballast
+  in
   Printf.sprintf
     {|
 MODULE Destroy;
@@ -16,11 +39,11 @@ TYPE
     kids: Kids
   END;
   Tree = REF TreeRec;
-  Kids = REF ARRAY OF Tree;
+  Kids = REF ARRAY OF Tree;%s
 
 VAR
   root: Tree;
-  seed, it, checksum: INTEGER;
+  seed, it, checksum: INTEGER;%s
 
 PROCEDURE Rand(bound: INTEGER): INTEGER;
 BEGIN
@@ -76,10 +99,10 @@ BEGIN
   fresh := MkTree(%d - %d);
   t.kids[Rand(%d)] := fresh;
   RETURN fresh.value
-END Replace;
+END Replace;%s
 
 BEGIN
-  seed := 12345;
+  seed := 12345;%s
   root := MkTree(%d);
   checksum := 0;
   FOR it := 1 TO %d DO
@@ -92,8 +115,16 @@ BEGIN
   PutLn()
 END Destroy.
 |}
-    branch (branch - 1) replace_depth branch depth replace_depth branch depth
-    iterations
+    ballast_type ballast_var branch (branch - 1) replace_depth branch depth
+    replace_depth branch ballast_proc ballast_init depth iterations
+
+let make ~branch ~depth ~replace_depth ~iterations =
+  gen ~ballast:0 ~branch ~depth ~replace_depth ~iterations
+
+(** [make] plus a global linked list of [ballast] nodes allocated at its own
+    static site before the tree work starts and kept live to the end — the
+    long-lived population for lifetime-profile experiments. *)
+let make_ballast = gen
 
 (** The configuration used by the test suite and the §6.3 timing bench. *)
 let src = make ~branch:3 ~depth:6 ~replace_depth:3 ~iterations:60

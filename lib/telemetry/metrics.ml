@@ -16,12 +16,58 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
-  mutable h_samples : float array; (* grows; first h_count entries valid *)
+  mutable h_samples : float array; (* grows; reservoir of the stream *)
+  h_buckets : int array; (* log-scaled bucket counts; length n_buckets *)
+  mutable h_prng : Support.Prng.t; (* reservoir replacement source *)
 }
 
-(* Retain at most this many raw samples per histogram; count/sum/min/max
-   keep accumulating past the cap. *)
+(* Retain at most this many raw samples per histogram. Below the cap the
+   reservoir holds the whole stream in arrival order; past it, samples are
+   replaced uniformly at random (algorithm R), so the retained set stays an
+   unbiased sample of the full stream. count/sum/min/max/buckets keep
+   accumulating past the cap. *)
 let max_samples = 65536
+
+(* Every histogram's reservoir uses the same deterministic seed: two
+   histograms fed the same number of observations replace the same indices,
+   which keeps parallel per-event arrays (e.g. the --gc-stats per-collection
+   table reading several gc.* histograms positionally) row-aligned even
+   past the cap. *)
+let reservoir_seed = 0x6d687267 (* "mhrg" *)
+
+(* --- log-scaled buckets (HdrHistogram-style) ---
+
+   Bucket 0 holds values below 1.0; past that, each power-of-two octave
+   [2^o, 2^(o+1)) is split into [n_sub] equal sub-buckets, giving a
+   constant relative error of 1/n_sub (25%) at every magnitude. 256
+   buckets at 4 sub-buckets per octave span 63 octaves — more than the
+   dynamic range of an int64 nanosecond clock — in 2 KiB per histogram,
+   so quantiles never need the raw samples and cannot be biased by the
+   sample cap. *)
+
+let n_sub = 4
+let n_buckets = 256
+
+let bucket_index v =
+  if not (v >= 1.0) then 0 (* v < 1, and NaN *)
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1), so e >= 1 here. *)
+    let sub = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int n_sub) in
+    let sub = if sub < 0 then 0 else if sub >= n_sub then n_sub - 1 else sub in
+    let idx = ((e - 1) * n_sub) + sub + 1 in
+    if idx >= n_buckets then n_buckets - 1 else idx
+  end
+
+(** Inclusive lower bound of a bucket. *)
+let bucket_lo i =
+  if i <= 0 then 0.0
+  else
+    let o = (i - 1) / n_sub and s = (i - 1) mod n_sub in
+    Float.ldexp (1.0 +. (float_of_int s /. float_of_int n_sub)) o
+
+(** Exclusive upper bound of a bucket (infinity for the last). *)
+let bucket_hi i = if i >= n_buckets - 1 then infinity else bucket_lo (i + 1)
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
@@ -66,6 +112,8 @@ let histogram name : histogram =
           h_min = infinity;
           h_max = neg_infinity;
           h_samples = [||];
+          h_buckets = Array.make n_buckets 0;
+          h_prng = Support.Prng.create reservoir_seed;
         }
       in
       register name (Histogram h);
@@ -90,6 +138,8 @@ let observe (h : histogram) v =
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v;
+    let b = bucket_index v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
     let i = h.h_count - 1 in
     if i < max_samples then begin
       if i >= Array.length h.h_samples then begin
@@ -99,6 +149,12 @@ let observe (h : histogram) v =
         h.h_samples <- bigger
       end;
       h.h_samples.(i) <- v
+    end
+    else begin
+      (* Reservoir replacement: keep each of the i+1 observations so far
+         with equal probability max_samples/(i+1). *)
+      let j = Support.Prng.int h.h_prng (i + 1) in
+      if j < max_samples then h.h_samples.(j) <- v
     end
   end
 
@@ -119,6 +175,43 @@ let samples (h : histogram) : float array =
 
 let mean (h : histogram) = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
 
+(** Histogram handle by name; [None] if absent or registered otherwise. *)
+let find_histogram name =
+  match find name with Some (Histogram h) -> Some h | _ -> None
+
+(** Quantile [q] in [0,1] from the bucket counts — exact to within one
+    sub-bucket (25% relative error bound), unaffected by the sample cap.
+    Returns the bucket's upper bound clamped to the observed [min,max], so
+    [percentile h 1.0] is exactly [h.h_max]. *)
+let percentile (h : histogram) q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+    let rank = if rank < 1 then 1 else if rank > h.h_count then h.h_count else rank in
+    let idx = ref (n_buckets - 1) in
+    let cum = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.h_buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v = bucket_hi !idx in
+    if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+  end
+
+(** Non-empty buckets as [(lo, hi, count)], in increasing value order.
+    The counts sum to [h.h_count]. *)
+let nonzero_buckets (h : histogram) : (float * float * int) list =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then acc := (bucket_lo i, bucket_hi i, h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
 (* --- lifecycle --- *)
 
 (** Zero every metric; handles remain valid. *)
@@ -132,7 +225,9 @@ let reset () =
           h.h_count <- 0;
           h.h_sum <- 0.0;
           h.h_min <- infinity;
-          h.h_max <- neg_infinity)
+          h.h_max <- neg_infinity;
+          Array.fill h.h_buckets 0 n_buckets 0;
+          h.h_prng <- Support.Prng.create reservoir_seed)
     registry
 
 (** All metrics in registration order. *)

@@ -53,6 +53,7 @@ type t = {
   gc_safe : bool; (* false when built with --no-gc-restrict (§6.2): the
                      tables may miss live pointers, so running a moving
                      collector over this image is unsound *)
+  alloc_sites : Mir.Ir.alloc_site array; (* static allocation sites, index = id *)
 }
 
 type build_options = {
@@ -244,6 +245,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     barriers_elided =
       Array.fold_left (fun a o -> a + o.Codegen.Select.of_barriers_elided) 0 outs;
     gc_safe = opts.select.Codegen.Select.gc_restrict;
+    alloc_sites = prog.Mir.Ir.alloc_sites;
   }
 
 (** fid of the procedure containing a code index — a single array load

@@ -71,6 +71,7 @@ type t = {
   mutable collector : (t -> needed:int -> unit) option;
   mutable gen : gen_state option; (* Some iff running generationally *)
   mutable on_alloc : (int -> int -> unit) option; (* (address, size) hook *)
+  mutable prof : Profile.t option; (* allocation-site profiler, if attached *)
   mutable gc_check_forces : bool; (* Rt_gc_check triggers a collection *)
   mutable icount : int;
   mutable alloc_count : int;
@@ -95,6 +96,7 @@ let create (image : Image.t) : t =
     collector = None;
     gen = None;
     on_alloc = None;
+    prof = None;
     gc_check_forces = false;
     icount = 0;
     alloc_count = 0;
@@ -308,7 +310,7 @@ let allocate_flat t size =
 let allocate t size =
   match t.gen with Some g -> allocate_gen t g size | None -> allocate_flat t size
 
-let rt_alloc t tdid ~length =
+let rt_alloc t ?(site = -1) tdid ~length =
   let lay = t.image.Image.layouts.(tdid) in
   let size = Rt.Typedesc.layout_words lay ~length in
   let a = allocate t size in
@@ -328,6 +330,9 @@ let rt_alloc t tdid ~length =
   Telemetry.Metrics.incr c_allocs;
   Telemetry.Metrics.incr ~by:size c_alloc_words;
   (match t.on_alloc with Some f -> f a size | None -> ());
+  (match t.prof with
+  | Some p -> Profile.on_alloc p ~site ~addr:a ~words:size
+  | None -> ());
   a
 
 (* ------------------------------------------------------------------ *)
@@ -337,8 +342,8 @@ let rt_alloc t tdid ~length =
 exception Guest_error of string
 
 let rt_nargs = function
-  | Mir.Ir.Rt_alloc -> 1
-  | Mir.Ir.Rt_alloc_open -> 2
+  | Mir.Ir.Rt_alloc _ -> 1
+  | Mir.Ir.Rt_alloc_open _ -> 2
   | Mir.Ir.Rt_gc_check -> 0
   | Mir.Ir.Rt_put_int -> 1
   | Mir.Ir.Rt_put_char -> 1
@@ -351,8 +356,9 @@ let rt_nargs = function
 let exec_rt t (rc : Mir.Ir.rt_call) =
   let arg i = read t (sp t + i) in
   (match rc with
-  | Mir.Ir.Rt_alloc -> t.regs.(Machine.Reg.ret) <- rt_alloc t (arg 0) ~length:0
-  | Mir.Ir.Rt_alloc_open -> t.regs.(Machine.Reg.ret) <- rt_alloc t (arg 0) ~length:(arg 1)
+  | Mir.Ir.Rt_alloc site -> t.regs.(Machine.Reg.ret) <- rt_alloc t ~site (arg 0) ~length:0
+  | Mir.Ir.Rt_alloc_open site ->
+      t.regs.(Machine.Reg.ret) <- rt_alloc t ~site (arg 0) ~length:(arg 1)
   | Mir.Ir.Rt_gc_check ->
       if t.gc_check_forces then
         (match t.collector with Some c -> c t ~needed:0 | None -> ())

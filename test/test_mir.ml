@@ -30,7 +30,7 @@ let test_ptr_kinds () =
     List.exists
       (fun i ->
         match i with
-        | Ir.Call (Some t, Ir.Crt Ir.Rt_alloc, _) -> Ir.temp_kind main t = Ir.Kptr
+        | Ir.Call (Some t, Ir.Crt (Ir.Rt_alloc _), _) -> Ir.temp_kind main t = Ir.Kptr
         | _ -> false)
       (all_instrs main)
   in

@@ -150,6 +150,7 @@ let test_dce_keeps_bases () =
       tdescs = [||];
       funcs = [| f |];
       main_fid = 0;
+      alloc_sites = [||];
     }
   in
   ignore (Opt.Dce.run prog f);

@@ -63,6 +63,58 @@ let test_histograms () =
   T.Metrics.reset ();
   check Alcotest.int "reset clears samples" 0 (Array.length (T.Metrics.samples h))
 
+let test_reservoir () =
+  let h = T.Metrics.histogram "test.reservoir" in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    T.Metrics.observe h (float_of_int i)
+  done;
+  check Alcotest.int "count keeps the full stream" n h.T.Metrics.h_count;
+  let s = T.Metrics.samples h in
+  check Alcotest.int "reservoir capped" 65536 (Array.length s);
+  (* Algorithm R keeps late arrivals: a ramp must retain samples past the
+     cap, where a head-truncating cap would keep only the first 65536. *)
+  check Alcotest.bool "late samples retained" true
+    (Array.exists (fun v -> v >= 65536.0) s);
+  (* And the retained set is roughly unbiased: the mean of a uniform
+     subsample of a 0..n ramp sits near n/2, not near cap/2. *)
+  let mean = Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s) in
+  check Alcotest.bool "sample mean near stream mean" true
+    (mean > 0.4 *. float_of_int n && mean < 0.6 *. float_of_int n);
+  (* Equal-length streams replace identical indices (shared deterministic
+     seed), so parallel per-event histograms stay row-aligned past the cap. *)
+  let h2 = T.Metrics.histogram "test.reservoir2" in
+  for i = 0 to n - 1 do
+    T.Metrics.observe h2 (float_of_int i)
+  done;
+  check Alcotest.bool "parallel histograms stay aligned" true
+    (T.Metrics.samples h = T.Metrics.samples h2)
+
+let test_percentiles () =
+  let h = T.Metrics.histogram "test.pct" in
+  for i = 1 to 1000 do
+    T.Metrics.observe h (float_of_int i)
+  done;
+  (* Bucket quantiles overestimate by at most one sub-bucket (25% relative
+     error at 4 sub-buckets per octave), clamped to the observed range. *)
+  let p50 = T.Metrics.percentile h 0.50 in
+  check Alcotest.bool "p50 within bucket error" true (p50 >= 500.0 && p50 <= 625.0);
+  let p90 = T.Metrics.percentile h 0.90 in
+  check Alcotest.bool "p90 within bucket error" true (p90 >= 900.0 && p90 <= 1125.0);
+  check (Alcotest.float 1e-9) "p100 is exactly the max" 1000.0
+    (T.Metrics.percentile h 1.0);
+  let buckets = T.Metrics.nonzero_buckets h in
+  check Alcotest.int "bucket counts sum to count" h.T.Metrics.h_count
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets);
+  check Alcotest.bool "buckets are ordered and disjoint" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) (lo, hi, _) -> (ok && lo >= prev && hi > lo, hi))
+          (true, 0.0) buckets));
+  let e = T.Metrics.histogram "test.pct.empty" in
+  check (Alcotest.float 1e-9) "empty histogram percentile" 0.0
+    (T.Metrics.percentile e 0.5)
+
 (* ------------------------------------------------------------------ *)
 (* Trace: nesting invariants                                           *)
 (* ------------------------------------------------------------------ *)
@@ -272,6 +324,8 @@ let () =
           Alcotest.test_case "counters" `Quick (fresh test_counters);
           Alcotest.test_case "gauges" `Quick (fresh test_gauges);
           Alcotest.test_case "histograms" `Quick (fresh test_histograms);
+          Alcotest.test_case "reservoir sampling" `Quick (fresh test_reservoir);
+          Alcotest.test_case "bucket percentiles" `Quick (fresh test_percentiles);
         ] );
       ( "trace",
         [

@@ -178,11 +178,11 @@ let test_fusion_legality () =
   check Alcotest.bool "mov+arith fuses" true
     (F.fusible straight tgt 0 = Some F.Mov_arith);
   (* A call is a gc-point: legal only as the last element of a pair. *)
-  let callpair = [| I.Push (I.Imm 3); I.Call (I.Crt Mir.Ir.Rt_alloc) |] in
+  let callpair = [| I.Push (I.Imm 3); I.Call (I.Crt (Mir.Ir.Rt_alloc 0)) |] in
   let tgt = F.targets callpair in
   check Alcotest.bool "push+call fuses (call last)" true
     (F.fusible callpair tgt 0 = Some F.Push_call);
-  let callfirst = [| I.Call (I.Crt Mir.Ir.Rt_alloc); I.Mov (I.Reg 2, I.Imm 0) |] in
+  let callfirst = [| I.Call (I.Crt (Mir.Ir.Rt_alloc 0)); I.Mov (I.Reg 2, I.Imm 0) |] in
   let tgt = F.targets callfirst in
   check Alcotest.bool "call never fuses as first element" true
     (F.fusible callfirst tgt 0 = None);

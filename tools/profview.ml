@@ -1,0 +1,112 @@
+(* profview — render a human-readable report from an mmrun --profile JSON
+   document: collection counts, the pause-time percentile table, the top
+   allocation sites by survived words (the pretenuring signal), and a
+   summary of any heap censuses.
+
+     profview profile.json
+     profview --top 20 profile.json
+
+   Exit 0 on success; prints the failure and exits 1 otherwise. *)
+
+module J = Telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("profview: " ^ m); exit 1) fmt
+
+let num = function Some (J.Int i) -> float_of_int i | Some (J.Float f) -> f | _ -> 0.0
+let int_of v = int_of_float (num v)
+let str = function Some (J.Str s) -> s | _ -> ""
+let bool_of = function Some (J.Bool b) -> b | _ -> false
+
+let () =
+  let top, path =
+    match Array.to_list Sys.argv with
+    | [ _; "--top"; n; path ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> (n, path)
+        | _ -> fail "--top wants a positive integer, got %s" n)
+    | [ _; path ] -> (10, path)
+    | _ ->
+        prerr_endline "usage: profview [--top N] PROFILE.json";
+        exit 2
+  in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error m -> fail "%s" m
+  in
+  let doc = try J.parse contents with J.Parse_error m -> fail "%s: %s" path m in
+  let schema = str (J.member "schema" doc) in
+  if schema <> "mm-profile" then fail "%s: not an mm-profile document (schema %S)" path schema;
+  Printf.printf "profile      : %s (schema %s v%d)\n" path schema
+    (int_of (J.member "version" doc));
+  (match J.member "collections" doc with
+  | Some c ->
+      Printf.printf "collections  : %d total (%d minor, %d full)\n"
+        (int_of (J.member "total" c))
+        (int_of (J.member "minor" c))
+        (int_of (J.member "full" c))
+  | None -> ());
+  (* --- pause percentiles --- *)
+  (match J.member "pauses" doc with
+  | Some p ->
+      List.iter
+        (fun key ->
+          match J.member key p with
+          | Some h when int_of (J.member "count" h) > 0 ->
+              Printf.printf
+                "pauses %-6s: n=%-6d p50 %8.1f us  p90 %8.1f us  p99 %8.1f us  max %8.1f us\n"
+                key
+                (int_of (J.member "count" h))
+                (num (J.member "p50_ns" h) /. 1e3)
+                (num (J.member "p90_ns" h) /. 1e3)
+                (num (J.member "p99_ns" h) /. 1e3)
+                (num (J.member "max_ns" h) /. 1e3)
+          | _ -> ())
+        [ "all"; "minor"; "full" ]
+  | None -> ());
+  (* --- top sites by survived words --- *)
+  let sites = Option.value ~default:[] (Option.bind (J.member "sites" doc) J.to_list) in
+  let survived s =
+    int_of (J.member "minor_survived_words" s) + int_of (J.member "full_survived_words" s)
+  in
+  let ranked =
+    sites
+    |> List.filter (fun s -> int_of (J.member "allocs" s) > 0)
+    |> List.sort (fun a b -> compare (survived b, int_of (J.member "alloc_words" b))
+                               (survived a, int_of (J.member "alloc_words" a)))
+  in
+  Printf.printf "sites        : %d static, %d hit\n" (List.length sites) (List.length ranked);
+  if ranked <> [] then begin
+    Printf.printf "%4s %-24s %9s %10s %10s %9s  %s\n" "id" "site" "allocs" "words"
+      "survived" "survival" "";
+    List.iteri
+      (fun i s ->
+        if i < top then
+          Printf.printf "%4d %-24s %9d %10d %10d %8.1f%%  %s\n"
+            (int_of (J.member "id" s))
+            (Printf.sprintf "%s:%d:%d" (str (J.member "proc" s))
+               (int_of (J.member "line" s))
+               (int_of (J.member "col" s)))
+            (int_of (J.member "allocs" s))
+            (int_of (J.member "alloc_words" s))
+            (survived s)
+            (100.0 *. num (J.member "survival_rate" s))
+            (if bool_of (J.member "open_array" s) then "open" else ""))
+      ranked
+  end;
+  (* --- censuses --- *)
+  let censuses =
+    Option.value ~default:[] (Option.bind (J.member "censuses" doc) J.to_list)
+  in
+  List.iter
+    (fun c ->
+      Printf.printf "census @%-4d : %d live objects, %d live words, %d tdescs, %d sites\n"
+        (int_of (J.member "collection" c))
+        (int_of (J.member "live_objects" c))
+        (int_of (J.member "live_words" c))
+        (List.length (Option.value ~default:[] (Option.bind (J.member "by_tdesc" c) J.to_list)))
+        (List.length (Option.value ~default:[] (Option.bind (J.member "by_site" c) J.to_list))))
+    censuses

@@ -6,6 +6,13 @@
      validate_trace t.json
      validate_trace t.json gc.stackwalk gc.underive gc.copy gc.rederive
 
+   With --profile it instead validates an mmrun --profile document: schema
+   name and version, every site id resolving to a source location, survival
+   rates in [0,1], each pause histogram's bucket counts summing to its pause
+   count, and census site references resolving to the site table.
+
+     validate_trace --profile p.json
+
    Exit 0 on success; prints the failure and exits 1 otherwise. Used by
    `make check` / CI. *)
 
@@ -13,12 +20,88 @@ module J = Telemetry.Json
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_trace: " ^ m); exit 1) fmt
 
+let num = function Some (J.Int i) -> Some (float_of_int i) | Some (J.Float f) -> Some f | _ -> None
+
+let validate_profile path doc =
+  (match J.member "schema" doc with
+  | Some (J.Str "mm-profile") -> ()
+  | _ -> fail "%s: schema is not \"mm-profile\"" path);
+  (match J.member "version" doc with
+  | Some (J.Int 1) -> ()
+  | _ -> fail "%s: unsupported profile version (want 1)" path);
+  let sites =
+    match Option.bind (J.member "sites" doc) J.to_list with
+    | Some ss -> ss
+    | None -> fail "%s: no sites array" path
+  in
+  let nsites = List.length sites in
+  List.iteri
+    (fun i s ->
+      (match J.member "id" s with
+      | Some (J.Int id) when id = i -> ()
+      | _ -> fail "%s: site %d: id does not match its index" path i);
+      (* Every site id must resolve to a source location. *)
+      (match (J.member "proc" s, J.member "line" s) with
+      | Some (J.Str proc), Some (J.Int line) when proc <> "" && line >= 1 -> ()
+      | _ -> fail "%s: site %d: missing or empty source location" path i);
+      match num (J.member "survival_rate" s) with
+      | Some r when r >= 0.0 && r <= 1.0 -> ()
+      | _ -> fail "%s: site %d: survival_rate outside [0,1]" path i)
+    sites;
+  let pause_hists = ref 0 in
+  (match J.member "pauses" doc with
+  | Some p ->
+      List.iter
+        (fun key ->
+          match J.member key p with
+          | None -> fail "%s: pauses.%s missing" path key
+          | Some h ->
+              incr pause_hists;
+              let count =
+                match J.member "count" h with
+                | Some (J.Int n) -> n
+                | _ -> fail "%s: pauses.%s: no count" path key
+              in
+              let buckets =
+                Option.value ~default:[] (Option.bind (J.member "buckets" h) J.to_list)
+              in
+              let total =
+                List.fold_left
+                  (fun acc b ->
+                    match J.member "count" b with
+                    | Some (J.Int n) when n > 0 -> acc + n
+                    | _ -> fail "%s: pauses.%s: bucket without a positive count" path key)
+                  0 buckets
+              in
+              if total <> count then
+                fail "%s: pauses.%s: bucket counts sum to %d, want %d" path key total count)
+        [ "all"; "minor"; "full" ]
+  | None -> fail "%s: no pauses object" path);
+  let censuses =
+    Option.value ~default:[] (Option.bind (J.member "censuses" doc) J.to_list)
+  in
+  List.iteri
+    (fun i c ->
+      let entries =
+        Option.value ~default:[] (Option.bind (J.member "by_site" c) J.to_list)
+      in
+      List.iter
+        (fun e ->
+          match J.member "site" e with
+          | Some (J.Int id) when id = -1 || (id >= 0 && id < nsites) -> ()
+          | _ -> fail "%s: census %d: site reference outside the site table" path i)
+        entries)
+    censuses;
+  Printf.printf "validate_trace: %s ok (profile: %d sites, %d pause histograms, %d censuses)\n"
+    path nsites !pause_hists (List.length censuses)
+
 let () =
-  let path, required =
+  let profile_mode, path, required =
     match Array.to_list Sys.argv with
-    | _ :: path :: rest -> (path, rest)
+    | _ :: "--profile" :: path :: rest -> (true, path, rest)
+    | _ :: path :: rest -> (false, path, rest)
     | _ ->
-        prerr_endline "usage: validate_trace FILE.json [required-span-name...]";
+        prerr_endline "usage: validate_trace [--profile] FILE.json [required-span-name...]";
         exit 2
   in
   let contents =
@@ -30,6 +113,10 @@ let () =
     with Sys_error m -> fail "%s" m
   in
   let doc = try J.parse contents with J.Parse_error m -> fail "%s: %s" path m in
+  if profile_mode then begin
+    validate_profile path doc;
+    exit 0
+  end;
   let events =
     match Option.bind (J.member "traceEvents" doc) J.to_list with
     | Some evs -> evs
