@@ -125,6 +125,16 @@ let print_gc_stats () =
     (T.Metrics.counter_value "vm.allocations")
     (T.Metrics.counter_value "vm.alloc_words");
   Printf.eprintf "words copied : %.0f\n" (hist_sum "gc.words_copied");
+  (* Copy bandwidth across the whole run, serial or parallel: the
+     gc.copy_words counter and the exact sum of the per-collection copy
+     phase times. *)
+  let copy_words = T.Metrics.counter_value "gc.copy_words" in
+  let copy_ns = hist_sum "gc.copy_ns" in
+  if copy_ns > 0.0 then
+    Printf.eprintf
+      "copy bandwdth: %.1f Mwords/s (%d words in %.0f us copy time, %d workers)\n"
+      (float_of_int copy_words /. (copy_ns /. 1e3))
+      copy_words (copy_ns /. 1e3) (Gc.Gc_pool.workers ());
   Printf.eprintf "frames traced: %d\n" (T.Metrics.counter_value "gc.frames_traced");
   Printf.eprintf "derived vals : %d un-derived, %d re-derived\n"
     (T.Metrics.counter_value "derived.underived")
@@ -143,9 +153,10 @@ let print_gc_stats () =
     ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
 
 let run file optimize checks no_gc_restrict heap stack collector gen nursery
-    no_barrier_elim no_threaded gc_stats trace metrics no_decode_cache verify_heap
-    verify_pre profile census_every fuel =
+    gc_workers no_barrier_elim no_threaded gc_stats trace metrics no_decode_cache
+    verify_heap verify_pre profile census_every fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
+  (match gc_workers with Some n -> Gc.Gc_pool.set_workers n | None -> ());
   if no_threaded then Vm.Threaded.set_enabled false;
   if verify_heap then Gc.Verify.set_post true;
   if verify_pre then Gc.Verify.set_pre true;
@@ -253,6 +264,16 @@ let nursery =
         ~doc:
           "Nursery size in words for generational mode (default: a quarter \
            semispace, floored at 300 words).")
+let gc_workers =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gc-workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the full-collection copy phase. 1 (the default) \
+           is the exact serial collector; any other count produces the same \
+           heap layout, outputs and errors — the level-synchronized parallel \
+           scan reproduces the serial copy order. Also set by MM_GC_WORKERS.")
 let no_barrier_elim =
   Arg.(
     value & flag
@@ -330,7 +351,8 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gen $ nursery $ no_barrier_elim $ no_threaded $ gc_stats $ trace $ metrics
-       $ no_decode_cache $ verify_heap $ verify_pre $ profile $ census_every $ fuel))
+       $ gen $ nursery $ gc_workers $ no_barrier_elim $ no_threaded $ gc_stats $ trace
+       $ metrics $ no_decode_cache $ verify_heap $ verify_pre $ profile $ census_every
+       $ fuel))
 
 let () = exit (Cmd.eval cmd)

@@ -12,13 +12,13 @@
     department, not ours). *)
 let object_size (st : Vm.Interp.t) addr =
   let layouts = st.Vm.Interp.image.Vm.Image.layouts in
-  let tdid = st.Vm.Interp.mem.(addr) in
+  let tdid = st.Vm.Interp.mem.{addr} in
   if tdid < 0 || tdid >= Array.length layouts then None
   else
     match layouts.(tdid) with
     | Rt.Typedesc.Lfixed { words; _ } -> Some (tdid, words)
     | Rt.Typedesc.Lopen { elt_size; _ } ->
-        let len = st.Vm.Interp.mem.(addr + 1) in
+        let len = st.Vm.Interp.mem.{addr + 1} in
         if len < 0 then None
         else Some (tdid, Rt.Typedesc.open_header_words + (len * elt_size))
 

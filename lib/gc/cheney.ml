@@ -24,6 +24,7 @@ let now_ns = T.Control.now_ns
 let c_collections = T.Metrics.counter "gc.collections"
 let c_major = T.Metrics.counter "gc.major_collections"
 let c_objects = T.Metrics.counter "gc.objects_forwarded"
+let c_copy_words = T.Metrics.counter "gc.copy_words"
 let h_pause = T.Metrics.histogram "gc.pause_ns"
 let h_stackwalk = T.Metrics.histogram "gc.stackwalk_ns"
 let h_underive = T.Metrics.histogram "gc.underive_ns"
@@ -64,12 +65,17 @@ let in_to c v = v >= c.dst_lo && v < c.to_alloc
 let bad_root c v reason =
   Vm.Vm_error.(
     error
-      (Bad_root { loc = Printf.sprintf "from-space word %d" v; value = c.st.Vm.Interp.mem.(v); reason }))
+      (Bad_root
+         {
+           loc = Printf.sprintf "from-space word %d" v;
+           value = Vm.Mem.get c.st.Vm.Interp.mem v;
+           reason;
+         }))
 
 let forward c v =
   if not (in_from c v) then v
   else begin
-    let header = c.st.Vm.Interp.mem.(v) in
+    let header = Vm.Mem.get c.st.Vm.Interp.mem v in
     if in_to c header then header (* already forwarded *)
     else begin
       let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
@@ -80,23 +86,23 @@ let forward c v =
         match layouts.(header) with
         | Rt.Typedesc.Lfixed { words; _ } -> words
         | Rt.Typedesc.Lopen { elt_size; _ } ->
-            let length = c.st.Vm.Interp.mem.(v + 1) in
+            let length = Vm.Mem.get c.st.Vm.Interp.mem (v + 1) in
             if length < 0 then
               bad_root c v (Printf.sprintf "open array has negative length %d" length);
             Rt.Typedesc.open_header_words + (length * elt_size)
       in
       (* Size checks before the blit: a fake "object" (an integer that
          happens to land on a plausible header) can claim any extent, and
-         Array.blit would either throw a bare Invalid_argument or, worse,
+         the blit would either throw a bare Invalid_argument or, worse,
          copy half the heap. *)
       if v + size > c.src_hi then
         bad_root c v (Printf.sprintf "object of %d words overruns its source region" size);
       if c.to_alloc + size > c.dst_hi then
         bad_root c v (Printf.sprintf "object of %d words overruns its destination region" size);
       let dst = c.to_alloc in
-      Array.blit c.st.Vm.Interp.mem v c.st.Vm.Interp.mem dst size;
+      Vm.Mem.blit c.st.Vm.Interp.mem ~src:v ~dst ~len:size;
       c.to_alloc <- dst + size;
-      c.st.Vm.Interp.mem.(v) <- dst (* forwarding pointer *);
+      Vm.Mem.set c.st.Vm.Interp.mem v dst (* forwarding pointer *);
       c.st.Vm.Interp.gc.Vm.Interp.objects_copied <-
         c.st.Vm.Interp.gc.Vm.Interp.objects_copied + 1;
       T.Metrics.incr c_objects;
@@ -113,27 +119,252 @@ let forward c v =
    fresh offset list for every live object of every collection. *)
 let scan_object c addr =
   let mem = c.st.Vm.Interp.mem in
-  match c.st.Vm.Interp.image.Vm.Image.layouts.(mem.(addr)) with
+  match c.st.Vm.Interp.image.Vm.Image.layouts.(Vm.Mem.unsafe_get mem addr) with
   | Rt.Typedesc.Lfixed { words; offsets } ->
       for k = 0 to Array.length offsets - 1 do
         let a = addr + Array.unsafe_get offsets k in
-        mem.(a) <- forward c mem.(a)
+        Vm.Mem.unsafe_set mem a (forward c (Vm.Mem.unsafe_get mem a))
       done;
       addr + words
   | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
-      let length = mem.(addr + 1) in
+      let length = Vm.Mem.unsafe_get mem (addr + 1) in
       let nofs = Array.length elt_offsets in
       if nofs > 0 then begin
         let base = ref (addr + Rt.Typedesc.open_header_words) in
         for _i = 1 to length do
           for k = 0 to nofs - 1 do
             let a = !base + Array.unsafe_get elt_offsets k in
-            mem.(a) <- forward c mem.(a)
+            Vm.Mem.unsafe_set mem a (forward c (Vm.Mem.unsafe_get mem a))
           done;
           base := !base + elt_size
         done
       end;
       addr + Rt.Typedesc.open_header_words + (length * elt_size)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The scan frontier is processed in level-synchronized rounds: round k
+   scans exactly the objects evacuated by round k-1 (round 0 scans the
+   objects the root pass evacuated). Because the serial Cheney queue is
+   FIFO, every level occupies a contiguous to-space range and the serial
+   scan finishes level k before touching level k+1 — so a round-based scan
+   that assigns destination addresses in the serial discovery order
+   (frontier order × field order) reproduces the serial to-space layout
+   word for word, for any worker count. Each wide round runs three phases:
+
+     A (parallel) — workers claim fixed chunks of the frontier off an
+       atomic cursor and classify every pointer field: targets already
+       forwarded before this round are patched immediately (their
+       destination is already fixed, so the write is deterministic and
+       owned by this chunk); the rest are recorded as (field, target)
+       pairs in per-chunk buffers.
+     B (serial) — the recorded pairs are replayed in chunk × entry order:
+       duplicates (targets forwarded earlier in this round) get the
+       existing forwarding pointer; fresh targets are validated with
+       exactly {!forward}'s checks and error messages, assigned the next
+       bump address, and their original header is stashed — installing the
+       forwarding pointer overwrites it before phase C copies the body.
+       This is the only phase that moves [to_alloc], so the layout matches
+       the serial collector's exactly.
+     C (parallel) — workers blit the recorded bodies into to-space and
+       write the stashed headers; the destination ranges are disjoint by
+       construction, and no body word overlaps a phase-B write (the only
+       from-space words B writes are headers, which C does not read).
+
+   Rounds narrower than {!Gc_pool.par_threshold} (e.g. every round of a
+   linked-list heap) run the fused serial scan instead — no dispatch, no
+   buffers — so parallelism only engages where it can pay. All
+   cross-domain visibility is through {!Gc_pool.run}'s mutex handshake. *)
+
+(* Size of an already-copied object, from its (valid) header. *)
+let object_words layouts mem addr =
+  match layouts.(Vm.Mem.unsafe_get mem addr) with
+  | Rt.Typedesc.Lfixed { words; _ } -> words
+  | Rt.Typedesc.Lopen { elt_size; _ } ->
+      Rt.Typedesc.open_header_words + (Vm.Mem.unsafe_get mem (addr + 1) * elt_size)
+
+(* Minimal growable int buffer (frontiers, phase buffers, copy records). *)
+type ibuf = { mutable ib : int array; mutable in_ : int }
+
+let ibuf_make cap = { ib = Array.make cap 0; in_ = 0 }
+
+let[@inline] ibuf_push b v =
+  if b.in_ = Array.length b.ib then begin
+    let bigger = Array.make (2 * Array.length b.ib) 0 in
+    Array.blit b.ib 0 bigger 0 b.in_;
+    b.ib <- bigger
+  end;
+  b.ib.(b.in_) <- v;
+  b.in_ <- b.in_ + 1
+
+let scan_parallel c ~workers =
+  let mem = c.st.Vm.Interp.mem in
+  let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
+  let threshold = Gc_pool.par_threshold () in
+  let cur = ref (ibuf_make 1024) and nxt = ref (ibuf_make 1024) in
+  (* Round 0's frontier: whatever the root pass already evacuated. *)
+  let seed = ref c.dst_lo in
+  while !seed < c.to_alloc do
+    ibuf_push !cur !seed;
+    seed := !seed + object_words layouts mem !seed
+  done;
+  let bufs = ref [||] and buf_lens = ref [||] in
+  let copies = ibuf_make 4096 in
+  while !cur.in_ > 0 do
+    let frontier = !cur in
+    let n = frontier.in_ in
+    !nxt.in_ <- 0;
+    if n < threshold then begin
+      (* Narrow round: fused serial scan of the frontier, then walk the
+         region it evacuated to build the next frontier. *)
+      let lo = c.to_alloc in
+      for i = 0 to n - 1 do
+        ignore (scan_object c frontier.ib.(i))
+      done;
+      let a = ref lo in
+      while !a < c.to_alloc do
+        ibuf_push !nxt !a;
+        a := !a + object_words layouts mem !a
+      done
+    end
+    else begin
+      let chunk = max 32 (n / (workers * 4)) in
+      let nchunks = (n + chunk - 1) / chunk in
+      if Array.length !bufs < nchunks then begin
+        bufs := Array.make nchunks [||];
+        buf_lens := Array.make nchunks 0
+      end;
+      let bufs = !bufs and buf_lens = !buf_lens in
+      let alloc0 = c.to_alloc in
+      let src_lo = c.src_lo and src_hi = c.src_hi and dst_lo = c.dst_lo in
+      (* --- phase A: classify fields, chunk-parallel. --- *)
+      let cursor = Atomic.make 0 in
+      Gc_pool.run ~workers (fun _w ->
+          let visit local a =
+            let v = Vm.Mem.unsafe_get mem a in
+            if v >= src_lo && v < src_hi then begin
+              let h = Vm.Mem.unsafe_get mem v in
+              if h >= dst_lo && h < alloc0 then Vm.Mem.unsafe_set mem a h
+              else begin
+                ibuf_push local a;
+                ibuf_push local v
+              end
+            end
+          in
+          let rec claim () =
+            let k = Atomic.fetch_and_add cursor 1 in
+            if k < nchunks then begin
+              let local = ibuf_make 256 in
+              let hi = min n ((k + 1) * chunk) in
+              for i = k * chunk to hi - 1 do
+                let addr = frontier.ib.(i) in
+                match layouts.(Vm.Mem.unsafe_get mem addr) with
+                | Rt.Typedesc.Lfixed { offsets; _ } ->
+                    for j = 0 to Array.length offsets - 1 do
+                      visit local (addr + Array.unsafe_get offsets j)
+                    done
+                | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
+                    let nofs = Array.length elt_offsets in
+                    if nofs > 0 then begin
+                      let length = Vm.Mem.unsafe_get mem (addr + 1) in
+                      let base = ref (addr + Rt.Typedesc.open_header_words) in
+                      for _i = 1 to length do
+                        for j = 0 to nofs - 1 do
+                          visit local (!base + Array.unsafe_get elt_offsets j)
+                        done;
+                        base := !base + elt_size
+                      done
+                    end
+              done;
+              bufs.(k) <- local.ib;
+              buf_lens.(k) <- local.in_;
+              claim ()
+            end
+          in
+          claim ());
+      (* --- phase B: forward in serial discovery order. --- *)
+      copies.in_ <- 0;
+      for k = 0 to nchunks - 1 do
+        let b = bufs.(k) and bn = buf_lens.(k) in
+        let i = ref 0 in
+        while !i < bn do
+          let a = b.(!i) and v = b.(!i + 1) in
+          i := !i + 2;
+          let header = Vm.Mem.unsafe_get mem v in
+          if in_to c header then Vm.Mem.unsafe_set mem a header
+          else begin
+            if header < 0 || header >= Array.length layouts then
+              bad_root c v
+                (Printf.sprintf "header %d is not a type descriptor (untidy root?)"
+                   header);
+            let size =
+              match layouts.(header) with
+              | Rt.Typedesc.Lfixed { words; _ } -> words
+              | Rt.Typedesc.Lopen { elt_size; _ } ->
+                  let length = Vm.Mem.get mem (v + 1) in
+                  if length < 0 then
+                    bad_root c v
+                      (Printf.sprintf "open array has negative length %d" length);
+                  Rt.Typedesc.open_header_words + (length * elt_size)
+            in
+            if v + size > c.src_hi then
+              bad_root c v
+                (Printf.sprintf "object of %d words overruns its source region" size);
+            if c.to_alloc + size > c.dst_hi then
+              bad_root c v
+                (Printf.sprintf "object of %d words overruns its destination region"
+                   size);
+            let dst = c.to_alloc in
+            c.to_alloc <- dst + size;
+            Vm.Mem.unsafe_set mem v dst (* forwarding pointer *);
+            Vm.Mem.unsafe_set mem a dst;
+            ibuf_push copies v;
+            ibuf_push copies dst;
+            ibuf_push copies size;
+            ibuf_push copies header;
+            ibuf_push !nxt dst;
+            c.st.Vm.Interp.gc.Vm.Interp.objects_copied <-
+              c.st.Vm.Interp.gc.Vm.Interp.objects_copied + 1;
+            T.Metrics.incr c_objects;
+            match c.st.Vm.Interp.prof with
+            | Some p -> Profile.on_copy p ~src:v ~dst ~words:size
+            | None -> ()
+          end
+        done
+      done;
+      (* --- phase C: copy the bodies, chunk-parallel. --- *)
+      let ncopies = copies.in_ / 4 in
+      if ncopies > 0 then begin
+        let carr = copies.ib in
+        let cchunk = max 8 (ncopies / (workers * 4)) in
+        let ncchunks = (ncopies + cchunk - 1) / cchunk in
+        let ccursor = Atomic.make 0 in
+        Gc_pool.run ~workers (fun _w ->
+            let rec claim () =
+              let k = Atomic.fetch_and_add ccursor 1 in
+              if k < ncchunks then begin
+                let hi = min ncopies ((k + 1) * cchunk) in
+                for i = k * cchunk to hi - 1 do
+                  let src = carr.(4 * i)
+                  and dst = carr.((4 * i) + 1)
+                  and size = carr.((4 * i) + 2)
+                  and header = carr.((4 * i) + 3) in
+                  Vm.Mem.unsafe_set mem dst header;
+                  if size > 1 then
+                    Vm.Mem.blit mem ~src:(src + 1) ~dst:(dst + 1) ~len:(size - 1)
+                done;
+                claim ()
+              end
+            in
+            claim ())
+      end
+    end;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
+  done
 
 (* Forward the tidy roots of one frame: stack-pointer table entries and
    register-pointer table entries (through the reconstruction map). *)
@@ -199,7 +430,8 @@ let collect (st : Vm.Interp.t) ~needed =
   in
   (* Global roots. *)
   List.iter
-    (fun a -> st.Vm.Interp.mem.(a) <- forward c st.Vm.Interp.mem.(a))
+    (fun a ->
+      Vm.Mem.set st.Vm.Interp.mem a (forward c (Vm.Mem.get st.Vm.Interp.mem a)))
     st.Vm.Interp.image.Vm.Image.global_roots;
   (* Stack and register roots (trace time, per the paper's accounting). *)
   T.Trace.begin_span ~cat:"gc" "gc.forward_roots";
@@ -207,11 +439,17 @@ let collect (st : Vm.Interp.t) ~needed =
   List.iter (forward_frame_roots c) frames;
   let t_roots1 = now_ns () in
   T.Trace.end_span ();
-  (* Cheney scan. *)
-  let scan = ref c.dst_lo in
-  while !scan < c.to_alloc do
-    scan := scan_object c !scan
-  done;
+  (* Cheney scan: the exact serial loop at 1 worker, the level-synchronized
+     parallel rounds otherwise — same layout, outputs and errors either
+     way (see {!scan_parallel}). *)
+  let workers = Gc_pool.workers () in
+  if workers <= 1 then begin
+    let scan = ref c.dst_lo in
+    while !scan < c.to_alloc do
+      scan := scan_object c !scan
+    done
+  end
+  else scan_parallel c ~workers;
   let t_copy1 = now_ns () in
   T.Trace.end_span ();
   (* --- re-derive and flip --- *)
@@ -230,9 +468,11 @@ let collect (st : Vm.Interp.t) ~needed =
   Vm.Interp.gen_reset_after_full st;
   let words = c.to_alloc - st.Vm.Interp.from_base in
   gcs.Vm.Interp.words_copied <- gcs.Vm.Interp.words_copied + words;
+  T.Metrics.incr ~by:words c_copy_words;
   let t_end = now_ns () in
   T.Trace.end_span ~args:[ ("words_copied", T.Json.Int words) ] ();
   let open Int64 in
+  gcs.Vm.Interp.copy_ns <- add gcs.Vm.Interp.copy_ns (sub t_copy1 t_trace1);
   gcs.Vm.Interp.total_gc_ns <- add gcs.Vm.Interp.total_gc_ns (sub t_end t_start);
   gcs.Vm.Interp.trace_ns <-
     add gcs.Vm.Interp.trace_ns

@@ -84,11 +84,11 @@ let collect_now (c : t) =
     consider st.Vm.Interp.regs.(r)
   done;
   for a = Vm.Interp.sp st to st.Vm.Interp.image.Vm.Image.stack_top - 1 do
-    consider st.Vm.Interp.mem.(a)
+    consider st.Vm.Interp.mem.{a}
   done;
   for a = st.Vm.Interp.image.Vm.Image.globals_base to st.Vm.Interp.image.Vm.Image.heap_base - 1
   do
-    consider st.Vm.Interp.mem.(a)
+    consider st.Vm.Interp.mem.{a}
   done;
   (* Mark transitively, scanning every word of every object (Boehm-style:
      the heap is ambiguous too). *)
@@ -96,7 +96,7 @@ let collect_now (c : t) =
     let addr = Queue.pop work in
     let size = Hashtbl.find c.objects addr in
     for i = 0 to size - 1 do
-      consider st.Vm.Interp.mem.(addr + i)
+      consider st.Vm.Interp.mem.{addr + i}
     done
   done;
   (* Sweep: unmarked objects join the free list. *)

@@ -1,0 +1,171 @@
+(** A persistent pool of collector worker domains.
+
+    The parallel copy phase ({!Cheney}) runs many short data-parallel jobs
+    per collection — one per phase per round. Spawning domains at that rate
+    would dwarf the work, so the pool spawns each worker domain once, on
+    first use, and parks it on a condition variable between jobs. A job is
+    dispatched by publishing a closure under the pool mutex and bumping a
+    generation counter; the calling (mutator) thread participates as worker
+    0, so [workers ()] = 1 never touches the pool at all.
+
+    All cross-domain communication is through the pool mutex: the closure
+    and its captured state are published before the wake-up broadcast, and
+    workers retire through the same mutex before the dispatcher returns —
+    so every memory write a worker makes during a job happens-before the
+    dispatcher's next read, and the collector needs no atomics beyond the
+    work-claiming cursor it manages itself.
+
+    Worker count is a pure runtime switch: [--gc-workers]/[MM_GC_WORKERS],
+    default 1 = the exact serial collector. The pool may hold more domains
+    than a given job wants (the count can be lowered between collections);
+    surplus domains wake, decline the job and retire, so a job dispatched
+    for [k] workers is executed by exactly [k]. *)
+
+(* --- configuration ------------------------------------------------- *)
+
+let max_workers = 64
+
+let env_int name =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+let forced_workers = ref None
+
+(** Set the worker count (clamped to [1, 64]); overrides [MM_GC_WORKERS]. *)
+let set_workers n = forced_workers := Some (min max_workers (max 1 n))
+
+(** Collector workers for the next collection: the forced count, else
+    [MM_GC_WORKERS], else 1 (serial). *)
+let workers () =
+  match !forced_workers with
+  | Some n -> n
+  | None -> (
+      match env_int "MM_GC_WORKERS" with
+      | Some n -> min max_workers n
+      | None -> 1)
+
+(* Rounds narrower than this many objects are scanned serially even when
+   workers > 1: a phase dispatch costs condition-variable wake-ups, which
+   only amortize over wide rounds. Tests lower it (MM_GC_PAR_THRESHOLD or
+   [set_par_threshold]) to force tiny heaps through the parallel phases. *)
+let default_par_threshold = 512
+let forced_threshold = ref None
+let set_par_threshold n = forced_threshold := Some (max 1 n)
+
+let par_threshold () =
+  match !forced_threshold with
+  | Some n -> n
+  | None -> (
+      match env_int "MM_GC_PAR_THRESHOLD" with
+      | Some n -> n
+      | None -> default_par_threshold)
+
+(* --- the pool ------------------------------------------------------ *)
+
+type pool = {
+  m : Mutex.t;
+  cv_job : Condition.t; (* signalled when a job is published or on quit *)
+  cv_done : Condition.t; (* signalled when the last domain retires *)
+  mutable job : (int -> unit) option;
+  mutable job_limit : int; (* domains with index >= job_limit decline *)
+  mutable gen : int; (* job generation, distinguishes consecutive jobs *)
+  mutable pending : int; (* domains that have not yet retired this job *)
+  mutable failure : exn option; (* first worker exception, re-raised *)
+  mutable quit : bool;
+  mutable domains : unit Domain.t list;
+  mutable spawned : int; (* domains alive; they carry indices 1..spawned *)
+}
+
+let pool =
+  {
+    m = Mutex.create ();
+    cv_job = Condition.create ();
+    cv_done = Condition.create ();
+    job = None;
+    job_limit = 0;
+    gen = 0;
+    pending = 0;
+    failure = None;
+    quit = false;
+    domains = [];
+    spawned = 0;
+  }
+
+let record_failure e =
+  Mutex.lock pool.m;
+  if pool.failure = None then pool.failure <- Some e;
+  Mutex.unlock pool.m
+
+let worker_body idx =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    while pool.gen = !last && not pool.quit do
+      Condition.wait pool.cv_job pool.m
+    done;
+    if pool.quit then begin
+      Mutex.unlock pool.m;
+      running := false
+    end
+    else begin
+      last := pool.gen;
+      let job = pool.job and limit = pool.job_limit in
+      Mutex.unlock pool.m;
+      (if idx < limit then
+         match job with
+         | Some f -> ( try f idx with e -> record_failure e)
+         | None -> ());
+      Mutex.lock pool.m;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.signal pool.cv_done;
+      Mutex.unlock pool.m
+    end
+  done
+
+let shutdown () =
+  Mutex.lock pool.m;
+  pool.quit <- true;
+  Condition.broadcast pool.cv_job;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.domains;
+  pool.domains <- [];
+  pool.spawned <- 0;
+  pool.quit <- false
+
+let ensure_spawned extra =
+  if pool.spawned < extra then begin
+    if pool.spawned = 0 then at_exit shutdown;
+    for idx = pool.spawned + 1 to extra do
+      pool.domains <- Domain.spawn (fun () -> worker_body idx) :: pool.domains
+    done;
+    pool.spawned <- extra
+  end
+
+(** Run [f 0 .. f (k-1)] concurrently, [f 0] on the calling thread, and
+    return when all have finished. [f] must partition its own work (e.g.
+    through an [Atomic] cursor). A worker exception is re-raised here after
+    every worker has retired; [k <= 1] calls [f 0] directly. *)
+let run ~workers:k (f : int -> unit) =
+  if k <= 1 then f 0
+  else begin
+    ensure_spawned (k - 1);
+    Mutex.lock pool.m;
+    pool.job <- Some f;
+    pool.job_limit <- k;
+    pool.pending <- pool.spawned;
+    pool.gen <- pool.gen + 1;
+    Condition.broadcast pool.cv_job;
+    Mutex.unlock pool.m;
+    (try f 0 with e -> record_failure e);
+    Mutex.lock pool.m;
+    while pool.pending > 0 do
+      Condition.wait pool.cv_done pool.m
+    done;
+    pool.job <- None;
+    let fail = pool.failure in
+    pool.failure <- None;
+    Mutex.unlock pool.m;
+    match fail with Some e -> raise e | None -> ()
+  end

@@ -28,6 +28,7 @@ let now_ns = T.Control.now_ns
    the minor-specific series. *)
 let c_collections = T.Metrics.counter "gc.collections"
 let c_minor = T.Metrics.counter "gc.minor_collections"
+let c_copy_words = T.Metrics.counter "gc.copy_words"
 let h_pause = T.Metrics.histogram "gc.pause_ns"
 let h_stackwalk = T.Metrics.histogram "gc.stackwalk_ns"
 let h_underive = T.Metrics.histogram "gc.underive_ns"
@@ -94,7 +95,7 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   let mem = st.Vm.Interp.mem in
   (* Global roots. *)
   List.iter
-    (fun a -> mem.(a) <- Cheney.forward c mem.(a))
+    (fun a -> Vm.Mem.set mem a (Cheney.forward c (Vm.Mem.get mem a)))
     st.Vm.Interp.image.Vm.Image.global_roots;
   (* Stack and register roots. *)
   T.Trace.begin_span ~cat:"gc" "gc.forward_roots";
@@ -102,7 +103,7 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   List.iter (Cheney.forward_frame_roots c) frames;
   (* Generational roots: old-generation slots recorded by the write
      barriers, and the fields of every pretenured object. *)
-  Remset.iter (fun a -> mem.(a) <- Cheney.forward c mem.(a)) g;
+  Remset.iter (fun a -> Vm.Mem.set mem a (Cheney.forward c (Vm.Mem.get mem a))) g;
   List.iter
     (fun addr -> ignore (Cheney.scan_object c addr))
     g.Vm.Interp.big_objects;
@@ -128,9 +129,11 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   st.Vm.Interp.alloc <- g.Vm.Interp.old_alloc;
   let words = c.Cheney.to_alloc - c.Cheney.dst_lo in
   gcs.Vm.Interp.words_copied <- gcs.Vm.Interp.words_copied + words;
+  T.Metrics.incr ~by:words c_copy_words;
   let t_end = now_ns () in
   T.Trace.end_span ~args:[ ("words_promoted", T.Json.Int words) ] ();
   let open Int64 in
+  gcs.Vm.Interp.copy_ns <- add gcs.Vm.Interp.copy_ns (sub t_copy1 t_trace1);
   gcs.Vm.Interp.total_gc_ns <- add gcs.Vm.Interp.total_gc_ns (sub t_end t_start);
   gcs.Vm.Interp.trace_ns <-
     add gcs.Vm.Interp.trace_ns

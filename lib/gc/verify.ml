@@ -130,7 +130,7 @@ let walk_region c lo hi =
   let addr = ref lo in
   try
     while !addr < hi do
-      let header = mem.(!addr) in
+      let header = mem.{!addr} in
       if header < 0 || header >= Array.length layouts then begin
         violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
           (Array.length layouts - 1);
@@ -140,7 +140,7 @@ let walk_region c lo hi =
         match layouts.(header) with
         | Rt.Typedesc.Lfixed { words; _ } -> words
         | Rt.Typedesc.Lopen { elt_size; _ } ->
-            let length = mem.(!addr + 1) in
+            let length = mem.{!addr + 1} in
             if length < 0 then begin
               violate c "open array at %d has negative length %d" !addr length;
               raise Exit
@@ -199,18 +199,18 @@ let check_heap_fields c =
     let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
     Hashtbl.iter
       (fun addr _size ->
-        match layouts.(mem.(addr)) with
+        match layouts.(mem.{addr}) with
         | Rt.Typedesc.Lfixed { offsets; _ } ->
             Array.iter
-              (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (addr + o)) mem.(addr + o))
+              (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (addr + o)) mem.{addr + o})
               offsets
         | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
             if Array.length elt_offsets > 0 then begin
-              let length = mem.(addr + 1) in
+              let length = mem.{addr + 1} in
               for i = 0 to length - 1 do
                 let base = addr + Rt.Typedesc.open_header_words + (i * elt_size) in
                 Array.iter
-                  (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (base + o)) mem.(base + o))
+                  (fun o -> check_target c ~what:(Printf.sprintf "heap word %d" (base + o)) mem.{base + o})
                   elt_offsets
               done
             end)
@@ -233,7 +233,7 @@ let check_old_young c =
         let big = Hashtbl.create 16 in
         List.iter (fun a -> Hashtbl.replace big a ()) g.Vm.Interp.big_objects;
         let check_slot owner a =
-          let v = mem.(a) in
+          let v = mem.{a} in
           if in_nursery c.st v && (not (Remset.mem c.st g a)) && not (Hashtbl.mem big owner)
           then
             violate c
@@ -244,12 +244,12 @@ let check_old_young c =
         Hashtbl.iter
           (fun addr _size ->
             if addr < g.Vm.Interp.old_alloc then
-              match layouts.(mem.(addr)) with
+              match layouts.(mem.{addr}) with
               | Rt.Typedesc.Lfixed { offsets; _ } ->
                   Array.iter (fun o -> check_slot addr (addr + o)) offsets
               | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
                   if Array.length elt_offsets > 0 then begin
-                    let length = mem.(addr + 1) in
+                    let length = mem.{addr + 1} in
                     for i = 0 to length - 1 do
                       let base = addr + Rt.Typedesc.open_header_words + (i * elt_size) in
                       Array.iter (fun o -> check_slot addr (base + o)) elt_offsets
@@ -266,7 +266,7 @@ let check_global_roots c =
   List.iter
     (fun a ->
       c.roots <- c.roots + 1;
-      check_target c ~what:(Printf.sprintf "global root at %d" a) c.st.Vm.Interp.mem.(a))
+      check_target c ~what:(Printf.sprintf "global root at %d" a) c.st.Vm.Interp.mem.{a})
     c.st.Vm.Interp.image.Vm.Image.global_roots
 
 let check_frame_roots c (fr : Stackwalk.frame) =

@@ -273,5 +273,22 @@ let to_json t : J.t =
             ("minor", hist_json "gc.minor_pause_ns");
             ("full", hist_json "gc.major_pause_ns");
           ] );
+      (* Copy-phase totals (serial and parallel paths both feed them): the
+         gc.copy_words counter, the exact gc.copy_ns histogram sum, and the
+         bandwidth they imply. *)
+      ( "copy",
+        let words = Telemetry.Metrics.counter_value "gc.copy_words" in
+        let ns =
+          match Telemetry.Metrics.find_histogram "gc.copy_ns" with
+          | Some h -> h.Telemetry.Metrics.h_sum
+          | None -> 0.0
+        in
+        J.Obj
+          [
+            ("copy_words", J.Int words);
+            ("copy_ns", J.Float ns);
+            ( "mwords_per_s",
+              J.Float (if ns > 0.0 then float_of_int words /. (ns /. 1e3) else 0.0) );
+          ] );
       ("censuses", J.List (List.rev_map census_json t.censuses));
     ]

@@ -248,6 +248,14 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     alloc_sites = prog.Mir.Ir.alloc_sites;
   }
 
+(** Fresh machine memory for this image: one flat word store covering the
+    whole memory map (globals, text, both semispaces, stack), zeroed, with
+    the static initialization (text literals and their headers) applied. *)
+let init_mem (t : t) : Mem.t =
+  let mem = Mem.create t.total_words in
+  List.iter (fun (a, v) -> Mem.set mem a v) t.static_init;
+  mem
+
 (** fid of the procedure containing a code index — a single array load
     against the per-instruction annotation built at image time (the old
     binary search ran on every [Leave] and every stack-walk frame). *)

@@ -26,6 +26,7 @@ type gc_stats = {
   mutable words_copied : int;
   mutable total_gc_ns : int64;
   mutable trace_ns : int64; (* time spent locating/decoding/rooting stacks *)
+  mutable copy_ns : int64; (* time inside the copy phase (roots + scan) *)
   mutable frames_traced : int;
   mutable objects_copied : int;
   mutable minor_collections : int; (* generational mode only *)
@@ -57,7 +58,7 @@ type gen_state = {
 
 type t = {
   image : Image.t;
-  mem : int array;
+  mem : Mem.t;
   regs : int array;
   mutable pc : int;
   mutable halted : bool;
@@ -80,8 +81,7 @@ type t = {
 }
 
 let create (image : Image.t) : t =
-  let mem = Array.make image.Image.total_words 0 in
-  List.iter (fun (a, v) -> mem.(a) <- v) image.Image.static_init;
+  let mem = Image.init_mem image in
   {
     image;
     mem;
@@ -107,6 +107,7 @@ let create (image : Image.t) : t =
         words_copied = 0;
         total_gc_ns = 0L;
         trace_ns = 0L;
+        copy_ns = 0L;
         frames_traced = 0;
         objects_copied = 0;
         minor_collections = 0;
@@ -119,12 +120,12 @@ let set_sp t v = t.regs.(Machine.Reg.sp) <- v
 let set_fp t v = t.regs.(Machine.Reg.fp) <- v
 
 let read t a =
-  if a < 0 || a >= Array.length t.mem then Vm_error.fail "memory read out of range: %d" a;
-  t.mem.(a)
+  if a < 0 || a >= Mem.length t.mem then Vm_error.fail "memory read out of range: %d" a;
+  Mem.unsafe_get t.mem a
 
 let write t a v =
-  if a < 8 || a >= Array.length t.mem then Vm_error.fail "memory write out of range: %d" a;
-  t.mem.(a) <- v
+  if a < 8 || a >= Mem.length t.mem then Vm_error.fail "memory write out of range: %d" a;
+  Mem.unsafe_set t.mem a v
 
 let eval t (o : I.operand) : int =
   match o with
@@ -318,13 +319,13 @@ let rt_alloc t ?(site = -1) tdid ~length =
   (match lay with
   | Rt.Typedesc.Lopen _ ->
       let h = Rt.Typedesc.open_header_words in
-      Array.fill t.mem (a + h) (size - h) 0;
-      t.mem.(a) <- tdid;
-      t.mem.(a + 1) <- length
+      Mem.fill t.mem (a + h) (size - h) 0;
+      Mem.set t.mem a tdid;
+      Mem.set t.mem (a + 1) length
   | Rt.Typedesc.Lfixed _ ->
       let h = Rt.Typedesc.fixed_header_words in
-      Array.fill t.mem (a + h) (size - h) 0;
-      t.mem.(a) <- tdid);
+      Mem.fill t.mem (a + h) (size - h) 0;
+      Mem.set t.mem a tdid);
   t.alloc_count <- t.alloc_count + 1;
   t.alloc_words <- t.alloc_words + size;
   Telemetry.Metrics.incr c_allocs;
@@ -372,11 +373,11 @@ let exec_rt t (rc : Mir.Ir.rt_call) =
         (* One range check for the whole payload, then a single unchecked
            append pass — the bounds-checked [read] used to run once per
            character. *)
-        if len < 0 || p + 2 + len > Array.length t.mem then
+        if len < 0 || p + 2 + len > Mem.length t.mem then
           Vm_error.fail "memory read out of range: %d" (p + 2 + len);
         let mem = t.mem in
         for a = p + 2 to p + 2 + len - 1 do
-          Buffer.add_char t.out (Char.chr (Array.unsafe_get mem a land 0xff))
+          Buffer.add_char t.out (Char.chr (Mem.unsafe_get mem a land 0xff))
         done
       end
   | Mir.Ir.Rt_put_ln -> Buffer.add_char t.out '\n'
@@ -456,9 +457,9 @@ let step t =
       if f - frame_size < t.image.Image.stack_base then Vm_error.fail "stack overflow";
       (* Block fill of the frame, then the save slots; the old word-by-word
          zero loop and the [List.iteri] closure both cost on every call. *)
-      Array.fill t.mem (f - frame_size) frame_size 0;
+      Mem.fill t.mem (f - frame_size) frame_size 0;
       for i = 0 to Array.length saves - 1 do
-        t.mem.(f - 1 - i) <- t.regs.(Array.unsafe_get saves i)
+        Mem.unsafe_set t.mem (f - 1 - i) t.regs.(Array.unsafe_get saves i)
       done;
       set_sp t (f - frame_size);
       t.pc <- t.pc + 1

@@ -73,11 +73,11 @@ let oob_write a = Vm_error.fail "memory write out of range: %d" a
 let stack_overflow () = Vm_error.fail "stack overflow"
 
 let[@inline always] mread t a =
-  if a < 0 || a >= Array.length t.mem then oob_read a else Array.unsafe_get t.mem a
+  if a < 0 || a >= Mem.length t.mem then oob_read a else Mem.unsafe_get t.mem a
 
 let[@inline always] mwrite t a v =
-  if a < 8 || a >= Array.length t.mem then oob_write a
-  else Array.unsafe_set t.mem a v
+  if a < 8 || a >= Mem.length t.mem then oob_write a
+  else Mem.unsafe_set t.mem a v
 
 let sp_r = Machine.Reg.sp
 let fp_r = Machine.Reg.fp
@@ -403,9 +403,9 @@ let compile_one (img : Image.t) ~pc (insn : I.t) : op =
         t.regs.(fp_r) <- t.regs.(sp_r);
         let f = t.regs.(fp_r) in
         if f - frame_size < stack_base then stack_overflow ();
-        Array.fill t.mem (f - frame_size) frame_size 0;
+        Mem.fill t.mem (f - frame_size) frame_size 0;
         for i = 0 to Array.length saves - 1 do
-          t.mem.(f - 1 - i) <- t.regs.(Array.unsafe_get saves i)
+          Mem.unsafe_set t.mem (f - 1 - i) t.regs.(Array.unsafe_get saves i)
         done;
         t.regs.(sp_r) <- f - frame_size;
         t.pc <- next

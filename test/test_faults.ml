@@ -290,7 +290,7 @@ let test_verifier_detects_corruption () =
   let rep = Gc.Verify.check st ~phase:"post" ~frames:[] () in
   check Alcotest.int "healthy heap: no violations" 0 (List.length rep.Gc.Verify.violations);
   (* Now smash the first object's header with a non-descriptor. *)
-  st.Vm.Interp.mem.(st.Vm.Interp.from_base) <- -42;
+  st.Vm.Interp.mem.{st.Vm.Interp.from_base} <- -42;
   match Gc.Verify.check st ~phase:"post" ~frames:[] () with
   | _ -> Alcotest.fail "corrupted header must fail verification"
   | exception Vm.Vm_error.Error (Vm.Vm_error.Verify_failed { violations; _ }) ->

@@ -17,7 +17,7 @@ type observed = {
   allocs : int;
   alloc_words : int;
   regs : int array;
-  mem : int array;
+  mem : Vm.Mem.t;
 }
 
 (* Run one machine over [img] under the chosen engine and collector and
@@ -33,7 +33,7 @@ let observe ~threaded ~gen (img : Vm.Image.t) : observed =
     allocs = st.Vm.Interp.alloc_count;
     alloc_words = st.Vm.Interp.alloc_words;
     regs = Array.copy st.Vm.Interp.regs;
-    mem = Array.copy st.Vm.Interp.mem;
+    mem = Vm.Mem.copy st.Vm.Interp.mem;
   }
 
 let agree ~what ~gen (img : Vm.Image.t) =
@@ -52,7 +52,7 @@ let agree ~what ~gen (img : Vm.Image.t) =
       check Alcotest.int (what ^ ": allocations") s.allocs t.allocs;
       check Alcotest.int (what ^ ": alloc words") s.alloc_words t.alloc_words;
       check Alcotest.bool (what ^ ": final registers") true (s.regs = t.regs);
-      check Alcotest.bool (what ^ ": final heap image") true (s.mem = t.mem);
+      check Alcotest.bool (what ^ ": final heap image") true (Vm.Mem.equal s.mem t.mem);
       s.collections)
 
 let compile ~optimize ~heap src =
@@ -96,6 +96,67 @@ let test_benchmark_matrix () =
        !total_collections)
     true
     (!total_collections > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel copy x engines                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pin the copy-phase worker count and round threshold for [f], restoring
+   both; threshold 2 forces the small test heaps through the parallel
+   round machinery (the 512-object default would leave them serial). *)
+let with_copy_workers n f =
+  let w0 = !Gc.Gc_pool.forced_workers and t0 = !Gc.Gc_pool.forced_threshold in
+  Gc.Gc_pool.set_workers n;
+  Gc.Gc_pool.set_par_threshold 2;
+  Fun.protect
+    ~finally:(fun () ->
+      Gc.Gc_pool.forced_workers := w0;
+      Gc.Gc_pool.forced_threshold := t0)
+    f
+
+let test_worker_engine_sweep () =
+  (* {1,2,4} workers x {flat, gen} x {switch, threaded}: every run must
+     reproduce the serial switch-engine observables exactly — the copy
+     phase's worker count is invisible to both engines. Post verifier
+     armed throughout. *)
+  let img =
+    compile ~optimize:true ~heap:4000
+      (Programs.Destroy_src.make ~branch:3 ~depth:4 ~replace_depth:2 ~iterations:120)
+  in
+  let post0 = Gc.Verify.post_enabled () in
+  Gc.Verify.set_post true;
+  Fun.protect
+    ~finally:(fun () -> Gc.Verify.set_post post0)
+    (fun () ->
+      List.iter
+        (fun gen ->
+          let mode = if gen then "gen" else "flat" in
+          let base = with_copy_workers 1 (fun () -> observe ~threaded:false ~gen img) in
+          check Alcotest.bool (mode ^ ": baseline collected") true
+            (base.collections > 0);
+          List.iter
+            (fun w ->
+              List.iter
+                (fun threaded ->
+                  let what =
+                    Printf.sprintf "%s workers=%d %s" mode w
+                      (if threaded then "threaded" else "switch")
+                  in
+                  let r = with_copy_workers w (fun () -> observe ~threaded ~gen img) in
+                  check Alcotest.string (what ^ ": output") base.output r.output;
+                  check Alcotest.int (what ^ ": icount") base.icount r.icount;
+                  check Alcotest.int (what ^ ": collections") base.collections
+                    r.collections;
+                  check Alcotest.int (what ^ ": allocations") base.allocs r.allocs;
+                  check Alcotest.int (what ^ ": alloc words") base.alloc_words
+                    r.alloc_words;
+                  check Alcotest.bool (what ^ ": final registers") true
+                    (base.regs = r.regs);
+                  check Alcotest.bool (what ^ ": final heap image") true
+                    (Vm.Mem.equal base.mem r.mem))
+                [ false; true ])
+            [ 1; 2; 4 ])
+        [ false; true ])
 
 (* ------------------------------------------------------------------ *)
 (* Engine selection plumbing                                           *)
@@ -258,6 +319,8 @@ let () =
       ( "differential",
         [
           Alcotest.test_case "benchmark matrix" `Quick test_benchmark_matrix;
+          Alcotest.test_case "worker sweep x engines" `Quick
+            test_worker_engine_sweep;
           QCheck_alcotest.to_alcotest prop_random_params;
         ] );
       ( "engine",
