@@ -10,9 +10,9 @@ FAULT_ITERS ?= 15
 FAULT_OUT := _build/fault-report.json
 PROFILE_OUT := _build/smoke.profile.json
 
-.PHONY: all build test test-verified test-gen test-switch test-workers smoke \
-	fault profile check bench bench-perf bench-gen bench-mutator bench-pauses \
-	bench-copy clean
+.PHONY: all build test test-verified test-gen test-switch test-workers \
+	test-pressure smoke fault profile check bench bench-perf bench-gen \
+	bench-mutator bench-pauses bench-copy bench-pressure clean
 
 all: build
 
@@ -48,6 +48,13 @@ test-switch: build
 # unchanged.
 test-workers: build
 	MM_GC_WORKERS=4 MM_GC_PAR_THRESHOLD=2 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
+
+# And under memory pressure: MM_HEAP_GROW=1 arms adaptive semispace
+# resizing on every moving-collector entry point (tests that pick their
+# own heap sizes now also exercise the grow/shrink/retry ladder), with
+# the heap verifier re-checking every post-resize heap.
+test-pressure: build
+	MM_HEAP_GROW=1 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
 
 smoke: build
 	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
@@ -106,6 +113,12 @@ bench-pauses: build
 # counts; writes BENCH_6.json. BENCH_COPY_SIZES overrides the sweep.
 bench-copy: build
 	$(DUNE) exec bench/main.exe -- copy
+
+# Adaptive growth vs a big fixed heap on destroy + INTEGER-array ballast
+# (plus an allocation-storm run), asserting output/icount/collections
+# byte-identical under growth; writes BENCH_7.json.
+bench-pressure: build
+	$(DUNE) exec bench/main.exe -- pressure
 
 clean:
 	$(DUNE) clean

@@ -1497,6 +1497,180 @@ let copy_bench () =
   printf "wrote %s\n" out_path
 
 (* ------------------------------------------------------------------ *)
+(* PRESSURE: adaptive growth vs a big fixed heap (BENCH_7.json)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The graceful-degradation acceptance gate as a benchmark: a workload
+   whose live set far exceeds the tiny starting semispace, run three
+   ways on the identical image —
+
+     fixed   a big fixed semispace (the reference),
+     grown   a tiny starting semispace with adaptive growth capped at
+             the reference size (must match the reference on output,
+             icount AND collection count: flat-heap growth is eager, so
+             it reproduces the big heap's collection points exactly),
+     storm   the grown configuration under an allocation-failure storm
+             (a forced collect/grow slow path every Nth allocation;
+             output must still match, collections legitimately differ).
+
+   Reports resizes, words grown, collections and pause percentiles per
+   run. Emits BENCH_7.json.
+
+   Environment knobs (used by the CI bench-smoke step):
+     BENCH_PRESSURE_ITERS  destroy replacement iterations (default 400)
+     BENCH_PRESSURE_HEAP   reference semispace words (default 200000)
+     BENCH_PRESSURE_START  starting semispace words (default 2000)
+     BENCH_PRESSURE_STORM  storm period in allocations (default 64)
+     BENCH_PRESSURE_OUT    output JSON path (default BENCH_7.json) *)
+
+type pressure_run = {
+  pr_name : string;
+  pr_wall : float;
+  pr_out : string;
+  pr_icount : int;
+  pr_collections : int;
+  pr_resizes : int;
+  pr_grow_words : int;
+  pr_final_semi : int;
+  pr_pause_p50 : float;
+  pr_pause_max : float;
+}
+
+let pressure_bench () =
+  hr ();
+  let getenv_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v -> v
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_PRESSURE_ITERS" 400 in
+  let big = getenv_int "BENCH_PRESSURE_HEAP" 200_000 in
+  let start = getenv_int "BENCH_PRESSURE_START" 2_000 in
+  let storm = getenv_int "BENCH_PRESSURE_STORM" 64 in
+  let out_path =
+    Option.value ~default:"BENCH_7.json" (Sys.getenv_opt "BENCH_PRESSURE_OUT")
+  in
+  (* Live array ballast worth several starting semispaces, plus tree
+     churn: the run cannot complete without growing. *)
+  let intchunk = 1024 in
+  let chunks = max 1 (6 * big / 10 / (intchunk + 6)) in
+  (* Each replacement churns ~370 words of short-lived subtree, so the
+     default 400 iterations push ~1.5 reference semispaces of allocation
+     through ~0.4 semispaces of headroom: several full collections. *)
+  let src =
+    Programs.Destroy_src.make_intballast ~intballast:chunks ~intchunk ~branch:4
+      ~depth:5 ~replace_depth:2 ~iterations:iters
+  in
+  printf "PRESSURE: tiny heap + adaptive growth vs %d-word fixed semispace\n" big;
+  printf "(%d chunks x %d words live ballast, %d replacements, start %d words)\n\n"
+    chunks intchunk iters start;
+  let one name ~heap ~grow ~storm_every =
+    let img = compile ~optimize:true ~heap src in
+    let result = ref None in
+    with_telemetry (fun () ->
+        let st = Vm.Interp.create img in
+        if grow then begin
+          st.Vm.Interp.heap_resize <- true;
+          st.Vm.Interp.heap_max_words <- big;
+          st.Vm.Interp.heap_min_words <- st.Vm.Interp.from_words
+        end;
+        if storm_every > 0 then st.Vm.Interp.alloc_pressure_every <- storm_every;
+        Gc.Cheney.install st;
+        let t0 = Unix.gettimeofday () in
+        Vm.Interp.run st;
+        let wall = Unix.gettimeofday () -. t0 in
+        let pct p =
+          match T.Metrics.find_histogram "gc.pause_ns" with
+          | Some h when h.T.Metrics.h_count > 0 ->
+              if p >= 1.0 then h.T.Metrics.h_max else T.Metrics.percentile h p
+          | _ -> 0.0
+        in
+        result :=
+          Some
+            {
+              pr_name = name;
+              pr_wall = wall;
+              pr_out = Vm.Interp.output st;
+              pr_icount = st.Vm.Interp.icount;
+              pr_collections = st.Vm.Interp.gc.Vm.Interp.collections;
+              pr_resizes = st.Vm.Interp.gc.Vm.Interp.resizes;
+              pr_grow_words = T.Metrics.counter_value "gc_pressure.grow_words";
+              pr_final_semi = st.Vm.Interp.from_words;
+              pr_pause_p50 = pct 0.50;
+              pr_pause_max = pct 1.0;
+            });
+    Option.get !result
+  in
+  let fixed = one "fixed" ~heap:big ~grow:false ~storm_every:0 in
+  let grown = one "grown" ~heap:start ~grow:true ~storm_every:0 in
+  let stormy = one "storm" ~heap:start ~grow:true ~storm_every:storm in
+  if fixed.pr_collections = 0 then
+    failwith "pressure bench: reference never collected — sizing bug";
+  if grown.pr_resizes = 0 then
+    failwith "pressure bench: grown run never resized — sizing bug";
+  (* The acceptance gate: growth is observationally invisible. *)
+  if grown.pr_out <> fixed.pr_out then
+    failwith "pressure bench: output diverges under growth";
+  if grown.pr_icount <> fixed.pr_icount then
+    failwith "pressure bench: icount diverges under growth";
+  if grown.pr_collections <> fixed.pr_collections then
+    failwith "pressure bench: collections diverge under growth";
+  if stormy.pr_out <> fixed.pr_out then
+    failwith "pressure bench: output diverges under allocation storm";
+  let runs = [ fixed; grown; stormy ] in
+  List.iter
+    (fun r ->
+      printf
+        "  %-6s %9d icount, %3d collections, %3d resizes (%7d words grown), \
+         final semi %7d, %6.0f us p50 pause, %.3f s wall\n"
+        r.pr_name r.pr_icount r.pr_collections r.pr_resizes r.pr_grow_words
+        r.pr_final_semi (r.pr_pause_p50 /. 1e3) r.pr_wall)
+    runs;
+  printf "\n  growth invisible: output, icount and collections match the \
+          fixed heap\n\n";
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "memory_pressure_growth");
+        ( "params",
+          T.Json.Obj
+            [
+              ("iterations", T.Json.Int iters);
+              ("reference_semi_words", T.Json.Int big);
+              ("start_semi_words", T.Json.Int start);
+              ("storm_every", T.Json.Int storm);
+              ("ballast_chunks", T.Json.Int chunks);
+              ("chunk_words", T.Json.Int intchunk);
+            ] );
+        ("outputs_match", T.Json.Bool true);
+        ("icounts_match", T.Json.Bool true);
+        ("collections_match", T.Json.Bool true);
+        ( "runs",
+          T.Json.List
+            (List.map
+               (fun r ->
+                 T.Json.Obj
+                   [
+                     ("name", T.Json.Str r.pr_name);
+                     ("wall_s", T.Json.Float r.pr_wall);
+                     ("icount", T.Json.Int r.pr_icount);
+                     ("collections", T.Json.Int r.pr_collections);
+                     ("resizes", T.Json.Int r.pr_resizes);
+                     ("grow_words", T.Json.Int r.pr_grow_words);
+                     ("final_semi_words", T.Json.Int r.pr_final_semi);
+                     ("pause_p50_ns", T.Json.Float r.pr_pause_p50);
+                     ("pause_max_ns", T.Json.Float r.pr_pause_max);
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1536,6 +1710,7 @@ let () =
           | "mutator" -> mutator ()
           | "pauses" -> pauses ()
           | "copy" -> copy_bench ()
+          | "pressure" -> pressure_bench ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

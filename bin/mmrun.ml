@@ -150,11 +150,27 @@ let print_gc_stats () =
   Printf.eprintf "gc time      : %.0f us (stack walk %.0f us, un/re-derive %.0f us)\n"
     (hist_sum "gc.pause_ns" /. 1e3)
     (hist_sum "gc.stackwalk_ns" /. 1e3)
-    ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3)
+    ((hist_sum "gc.underive_ns" +. hist_sum "gc.rederive_ns") /. 1e3);
+  (* Memory-pressure accounting, printed only when something happened. *)
+  let resizes = T.Metrics.counter_value "gc_pressure.resizes" in
+  let retries = T.Metrics.counter_value "gc_pressure.retries" in
+  let emergency = T.Metrics.counter_value "gc_pressure.emergency_full" in
+  let replays = T.Metrics.counter_value "gc_pressure.serial_replays" in
+  if resizes + retries + emergency + replays > 0 then
+    Printf.eprintf
+      "gc pressure  : %d resizes (%d words grown, %d shrinks), %d retry \
+       collections, %d emergency full, %d serial replays (%d worker faults, %d \
+       timeouts)\n"
+      resizes
+      (T.Metrics.counter_value "gc_pressure.grow_words")
+      (T.Metrics.counter_value "gc_pressure.shrinks")
+      retries emergency replays
+      (T.Metrics.counter_value "gc_pressure.worker_faults")
+      (T.Metrics.counter_value "gc_pressure.worker_timeouts")
 
-let run file optimize checks no_gc_restrict heap stack collector gen nursery
-    gc_workers no_barrier_elim no_threaded gc_stats trace metrics no_decode_cache
-    verify_heap verify_pre profile census_every fuel =
+let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collector
+    gen nursery gc_workers no_barrier_elim no_threaded gc_stats trace metrics
+    no_decode_cache verify_heap verify_pre profile census_every fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   (match gc_workers with Some n -> Gc.Gc_pool.set_workers n | None -> ());
   if no_threaded then Vm.Threaded.set_enabled false;
@@ -195,7 +211,9 @@ let run file optimize checks no_gc_restrict heap stack collector gen nursery
     in
     let t0 = T.Control.now_ns () in
     let r =
-      Driver.Compile.run ~collector ?nursery_words:nursery ?profile:prof ~fuel image
+      Driver.Compile.run ~collector ?nursery_words:nursery ?profile:prof ~fuel
+        ?heap_grow:(if heap_grow then Some true else None)
+        ?heap_max_words:heap_max image
     in
     let elapsed_ns = Int64.sub (T.Control.now_ns ()) t0 in
     print_string r.Driver.Compile.output;
@@ -222,13 +240,21 @@ let run file optimize checks no_gc_restrict heap stack collector gen nursery
       `Error (false, Printf.sprintf "%s: parse error: %s" (M3l.Srcloc.to_string loc) m)
   | M3l.M3l_error.Type_error (loc, m) ->
       `Error (false, Printf.sprintf "%s: type error: %s" (M3l.Srcloc.to_string loc) m)
-  | Vm.Interp.Guest_error m -> `Error (false, "runtime error: " ^ m)
-  | Vm.Vm_error.Error e -> `Error (false, "vm error: " ^ Vm.Vm_error.to_string e)
+  (* Runtime failures exit directly with the documented per-class codes
+     (see Vm_error.exit_code; guest-program traps use 3), so harnesses
+     assert on the exit status instead of string-matching stderr.
+     Compile-time and CLI errors keep cmdliner's own codes. *)
+  | Vm.Interp.Guest_error m ->
+      Printf.eprintf "mmrun: runtime error: %s\n%!" m;
+      exit 3
+  | Vm.Vm_error.Error e ->
+      Printf.eprintf "mmrun: vm error: %s\n%!" (Vm.Vm_error.to_string e);
+      exit (Vm.Vm_error.exit_code e)
   | Gcmaps.Decode.Table_corrupt { fid; offset; pos; reason } ->
-      `Error
-        ( false,
-          Printf.sprintf "corrupt gc table (proc %d, code offset %d, stream byte %d): %s" fid
-            offset pos reason )
+      Printf.eprintf
+        "mmrun: corrupt gc table (proc %d, code offset %d, stream byte %d): %s\n%!"
+        fid offset pos reason;
+      exit (Vm.Vm_error.exit_code (Vm.Vm_error.Corrupt_table { fid; offset; reason }))
   | Sys_error m -> `Error (false, m)
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -241,6 +267,27 @@ let no_gc_restrict =
         ~doc:"Run code compiled without gc restrictions (unsafe; warns).")
 let heap =
   Arg.(value & opt int 65536 & info [ "heap" ] ~doc:"Words per semispace.")
+let heap_grow =
+  Arg.(
+    value & flag
+    & info [ "heap-grow" ]
+        ~doc:
+          "Adaptive heap: grow the semispaces under memory pressure (and \
+           shrink them when mostly empty) instead of failing with \
+           heap-exhausted, up to --heap-max. The heap is the last region of \
+           the memory map, so resizing moves no address: a grown run is \
+           byte-identical to one started with the larger heap. Also enabled \
+           by MM_HEAP_GROW=1 or by setting MM_HEAP_MAX.")
+let heap_max =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heap-max" ] ~docv:"WORDS"
+        ~doc:
+          "Hard cap in words per semispace for --heap-grow (default 4194304; \
+           also MM_HEAP_MAX, which implies --heap-grow). Allocation fails \
+           with the typed heap-exhausted error (exit code 13) only at the \
+           cap.")
 let stack = Arg.(value & opt int 16384 & info [ "stack" ] ~doc:"Stack words.")
 let collector =
   Arg.(
@@ -350,9 +397,9 @@ let cmd =
     (Cmd.info "mmrun" ~doc)
     Term.(
       ret
-        (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ stack $ collector
-       $ gen $ nursery $ gc_workers $ no_barrier_elim $ no_threaded $ gc_stats $ trace
-       $ metrics $ no_decode_cache $ verify_heap $ verify_pre $ profile $ census_every
-       $ fuel))
+        (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ heap_grow
+       $ heap_max $ stack $ collector $ gen $ nursery $ gc_workers $ no_barrier_elim
+       $ no_threaded $ gc_stats $ trace $ metrics $ no_decode_cache $ verify_heap
+       $ verify_pre $ profile $ census_every $ fuel))
 
 let () = exit (Cmd.eval cmd)

@@ -99,8 +99,53 @@ let profile_for (image : Vm.Image.t) : Profile.t =
          })
        image.Vm.Image.alloc_sites)
 
+(* Adaptive-heap switches shared by every entry point. [MM_HEAP_GROW]
+   enables growth, [MM_HEAP_MAX] sets the semispace cap in words (growth
+   is implied when a cap is given), [MM_ALLOC_STORM] forces a collection
+   every Nth allocation (fault-injection pressure). *)
+let env_truthy name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let env_pos_int name =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+(** Default semispace cap when growth is on but no cap was given: plenty
+    for every workload in the repo, small enough to stay a sane bound. *)
+let default_heap_max_words = 4_194_304
+
+(** Arm the adaptive-resize policy on a fresh interpreter state.
+    [heap_grow]/[heap_max_words] come from flags; the environment
+    switches act when the flags are absent. Only the moving collectors
+    resize: the conservative collector's free-list blocks and the no-gc
+    configuration have no post-collection safe point to resize at. *)
+let arm_heap_policy ?heap_grow ?heap_max_words ~(collector : collector) st =
+  let env_max = env_pos_int "MM_HEAP_MAX" in
+  let grow =
+    match heap_grow with
+    | Some b -> b
+    | None -> env_truthy "MM_HEAP_GROW" || heap_max_words <> None || env_max <> None
+  in
+  let moving = match collector with Precise | Generational -> true | _ -> false in
+  if grow && moving then begin
+    let cap =
+      match heap_max_words with
+      | Some w -> w
+      | None -> ( match env_max with Some w -> w | None -> default_heap_max_words)
+    in
+    st.Vm.Interp.heap_resize <- true;
+    st.Vm.Interp.heap_max_words <- max cap st.Vm.Interp.from_words;
+    st.Vm.Interp.heap_min_words <- st.Vm.Interp.from_words
+  end;
+  match env_pos_int "MM_ALLOC_STORM" with
+  | Some n -> st.Vm.Interp.alloc_pressure_every <- n
+  | None -> ()
+
 let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
-    (image : Vm.Image.t) : run_result =
+    ?heap_grow ?heap_max_words (image : Vm.Image.t) : run_result =
   (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
      live pointers in forms the tables cannot describe; collecting while it
      runs can corrupt the heap. Warn whenever such output is executed under
@@ -111,6 +156,7 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
        not gc-safe by construction; a collection may corrupt the heap";
   let st = Vm.Interp.create image in
   st.Vm.Interp.prof <- profile;
+  arm_heap_policy ?heap_grow ?heap_max_words ~collector st;
   let nursery_words =
     match nursery_words with
     | Some _ as w -> w
@@ -143,5 +189,6 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
 
 (** Compile and run in one step (tests and examples). *)
 let run_source ?(options = default_options) ?collector ?nursery_words ?profile ?fuel
-    source =
-  run ?collector ?nursery_words ?profile ?fuel (compile ~options source)
+    ?heap_grow ?heap_max_words source =
+  run ?collector ?nursery_words ?profile ?fuel ?heap_grow ?heap_max_words
+    (compile ~options source)

@@ -38,6 +38,11 @@ let h_major_pause = T.Metrics.histogram "gc.major_pause_ns"
 let h_major_words = T.Metrics.histogram "gc.major_words"
 let h_is_minor = T.Metrics.histogram "gc.is_minor"
 
+(* Fault-containment accounting (the Gc_pressure telemetry group). *)
+let c_serial_replays = T.Metrics.counter "gc_pressure.serial_replays"
+let c_worker_faults = T.Metrics.counter "gc_pressure.worker_faults"
+let c_worker_timeouts = T.Metrics.counter "gc_pressure.worker_timeouts"
+
 (* The copier is parametric in its source and destination regions so the
    same forwarding and scanning machinery serves both a full collection
    (source = from-space, destination = to-space) and a minor one (source =
@@ -176,7 +181,24 @@ let scan_object c addr =
    Rounds narrower than {!Gc_pool.par_threshold} (e.g. every round of a
    linked-list heap) run the fused serial scan instead — no dispatch, no
    buffers — so parallelism only engages where it can pay. All
-   cross-domain visibility is through {!Gc_pool.run}'s mutex handshake. *)
+   cross-domain visibility is through {!Gc_pool.run_guarded}'s mutex
+   handshake.
+
+   Fault containment: the parallel phases are dispatched guarded. If a
+   worker raises, or misses the per-round watchdog deadline, the round is
+   abandoned and replayed serially — which is sound because a failed
+   phase A has only performed idempotent same-value patches of fields
+   whose targets were forwarded in earlier rounds (phase B, the only
+   mover of [to_alloc], has not run), and a failed phase C rewrites are
+   redone in full (every C write is a deterministic function of phase B's
+   committed records). On a timeout the stalled worker is still live and
+   may keep writing, so the store is first {e quarantined}
+   ({!Vm.Interp.quarantine_store}: the store is replaced by an identical
+   copy, so the straggler's late writes land in an unreachable buffer —
+   and any writes it made before the copy are same-value, so either
+   snapshot order is the same heap), and the rest of the collection stays
+   serial because the pool refuses dispatch until the straggler retires.
+   Either way the result is byte-identical to the serial collector. *)
 
 (* Size of an already-copied object, from its (valid) header. *)
 let object_words layouts mem addr =
@@ -200,36 +222,73 @@ let[@inline] ibuf_push b v =
   b.in_ <- b.in_ + 1
 
 let scan_parallel c ~workers =
-  let mem = c.st.Vm.Interp.mem in
   let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
   let threshold = Gc_pool.par_threshold () in
+  let deadline = Gc_pool.deadline_ns () in
   let cur = ref (ibuf_make 1024) and nxt = ref (ibuf_make 1024) in
   (* Round 0's frontier: whatever the root pass already evacuated. *)
   let seed = ref c.dst_lo in
+  let mem0 = c.st.Vm.Interp.mem in
   while !seed < c.to_alloc do
     ibuf_push !cur !seed;
-    seed := !seed + object_words layouts mem !seed
+    seed := !seed + object_words layouts mem0 !seed
   done;
   let bufs = ref [||] and buf_lens = ref [||] in
   let copies = ibuf_make 4096 in
+  let round = ref (-1) in
+  let degraded = ref false in
+  (* A guarded phase failed: count it, warn once, and on a timeout
+     quarantine the store (the straggler may still be writing into the
+     old one) and keep the rest of this collection serial — the pool
+     refuses dispatch until the straggler retires anyway. *)
+  let note_degrade status phase =
+    c.st.Vm.Interp.gc.Vm.Interp.serial_replays <-
+      c.st.Vm.Interp.gc.Vm.Interp.serial_replays + 1;
+    T.Metrics.incr c_serial_replays;
+    match status with
+    | Gc_pool.Fault e ->
+        T.Metrics.incr c_worker_faults;
+        T.Log.warn_once
+          "gc: worker fault in parallel phase %s (%s); round replayed serially"
+          phase (Printexc.to_string e)
+    | _ ->
+        (* Timeout *)
+        T.Metrics.incr c_worker_timeouts;
+        degraded := true;
+        Vm.Interp.quarantine_store c.st;
+        T.Log.warn_once
+          "gc: worker missed the round deadline in phase %s; store quarantined, collection degraded to serial"
+          phase
+  in
   while !cur.in_ > 0 do
+    incr round;
     let frontier = !cur in
     let n = frontier.in_ in
     !nxt.in_ <- 0;
-    if n < threshold then begin
-      (* Narrow round: fused serial scan of the frontier, then walk the
-         region it evacuated to build the next frontier. *)
+    (* Fused serial scan of this round's frontier, then a walk of the
+       region it evacuated to build the next frontier. Runs narrow
+       rounds, degraded (post-timeout) collections, and the replay of a
+       round whose phase A was abandoned: replay is sound because an
+       abandoned phase A has only patched fields whose targets were
+       forwarded in earlier rounds — idempotent, and [scan_object] skips
+       them (they no longer point into from-space) — while phase B, the
+       only mover of [to_alloc], never ran. *)
+    let serial_round () =
       let lo = c.to_alloc in
       for i = 0 to n - 1 do
         ignore (scan_object c frontier.ib.(i))
       done;
+      let mem = c.st.Vm.Interp.mem in
       let a = ref lo in
       while !a < c.to_alloc do
         ibuf_push !nxt !a;
         a := !a + object_words layouts mem !a
       done
-    end
+    in
+    if n < threshold || !degraded then serial_round ()
     else begin
+      let mem = c.st.Vm.Interp.mem in
+      let r = !round in
       let chunk = max 32 (n / (workers * 4)) in
       let nchunks = (n + chunk - 1) / chunk in
       if Array.length !bufs < nchunks then begin
@@ -239,9 +298,13 @@ let scan_parallel c ~workers =
       let bufs = !bufs and buf_lens = !buf_lens in
       let alloc0 = c.to_alloc in
       let src_lo = c.src_lo and src_hi = c.src_hi and dst_lo = c.dst_lo in
-      (* --- phase A: classify fields, chunk-parallel. --- *)
+      (* --- phase A: classify fields, chunk-parallel (guarded). --- *)
       let cursor = Atomic.make 0 in
-      Gc_pool.run ~workers (fun _w ->
+      let status_a =
+        Gc_pool.run_guarded ~workers ~deadline_ns:deadline (fun w ->
+          (match !Gc_pool.fault_hook with
+          | Some h -> h ~phase:"A" ~round:r ~worker:w
+          | None -> ());
           let visit local a =
             let v = Vm.Mem.unsafe_get mem a in
             if v >= src_lo && v < src_hi then begin
@@ -283,7 +346,13 @@ let scan_parallel c ~workers =
               claim ()
             end
           in
-          claim ());
+          claim ())
+      in
+      match status_a with
+      | Gc_pool.Fault _ | Gc_pool.Timeout ->
+          note_degrade status_a "A";
+          serial_round ()
+      | Gc_pool.Done ->
       (* --- phase B: forward in serial discovery order. --- *)
       copies.in_ <- 0;
       for k = 0 to nchunks - 1 do
@@ -334,31 +403,54 @@ let scan_parallel c ~workers =
           end
         done
       done;
-      (* --- phase C: copy the bodies, chunk-parallel. --- *)
+      (* --- phase C: copy the bodies, chunk-parallel (guarded). --- *)
       let ncopies = copies.in_ / 4 in
       if ncopies > 0 then begin
         let carr = copies.ib in
         let cchunk = max 8 (ncopies / (workers * 4)) in
         let ncchunks = (ncopies + cchunk - 1) / cchunk in
         let ccursor = Atomic.make 0 in
-        Gc_pool.run ~workers (fun _w ->
-            let rec claim () =
-              let k = Atomic.fetch_and_add ccursor 1 in
-              if k < ncchunks then begin
-                let hi = min ncopies ((k + 1) * cchunk) in
-                for i = k * cchunk to hi - 1 do
-                  let src = carr.(4 * i)
-                  and dst = carr.((4 * i) + 1)
-                  and size = carr.((4 * i) + 2)
-                  and header = carr.((4 * i) + 3) in
-                  Vm.Mem.unsafe_set mem dst header;
-                  if size > 1 then
-                    Vm.Mem.blit mem ~src:(src + 1) ~dst:(dst + 1) ~len:(size - 1)
-                done;
-                claim ()
-              end
-            in
-            claim ())
+        let status_c =
+          Gc_pool.run_guarded ~workers ~deadline_ns:deadline (fun w ->
+              (match !Gc_pool.fault_hook with
+              | Some h -> h ~phase:"C" ~round:r ~worker:w
+              | None -> ());
+              let rec claim () =
+                let k = Atomic.fetch_and_add ccursor 1 in
+                if k < ncchunks then begin
+                  let hi = min ncopies ((k + 1) * cchunk) in
+                  for i = k * cchunk to hi - 1 do
+                    let src = carr.(4 * i)
+                    and dst = carr.((4 * i) + 1)
+                    and size = carr.((4 * i) + 2)
+                    and header = carr.((4 * i) + 3) in
+                    Vm.Mem.unsafe_set mem dst header;
+                    if size > 1 then
+                      Vm.Mem.blit mem ~src:(src + 1) ~dst:(dst + 1) ~len:(size - 1)
+                  done;
+                  claim ()
+                end
+              in
+              claim ())
+        in
+        match status_c with
+        | Gc_pool.Done -> ()
+        | s ->
+            note_degrade s "C";
+            (* Redo every copy serially on the (possibly quarantined)
+               store: each phase-C write is a pure function of phase B's
+               committed records, so the redo is idempotent whether the
+               abandoned workers finished none, some or all of it. *)
+            let mem = c.st.Vm.Interp.mem in
+            for i = 0 to ncopies - 1 do
+              let src = carr.(4 * i)
+              and dst = carr.((4 * i) + 1)
+              and size = carr.((4 * i) + 2)
+              and header = carr.((4 * i) + 3) in
+              Vm.Mem.unsafe_set mem dst header;
+              if size > 1 then
+                Vm.Mem.blit mem ~src:(src + 1) ~dst:(dst + 1) ~len:(size - 1)
+            done
       end
     end;
     let tmp = !cur in
@@ -382,7 +474,6 @@ let forward_frame_roots c (fr : Stackwalk.frame) =
     fr.Stackwalk.fr_gcpoint.RM.reg_ptrs
 
 let collect (st : Vm.Interp.t) ~needed =
-  ignore needed;
   let t_start = now_ns () in
   let gcs = st.Vm.Interp.gc in
   gcs.Vm.Interp.collections <- gcs.Vm.Interp.collections + 1;
@@ -417,14 +508,19 @@ let collect (st : Vm.Interp.t) ~needed =
   in
   (* --- copy phase --- *)
   T.Trace.begin_span ~cat:"gc" "gc.copy";
-  let semi = st.Vm.Interp.image.Vm.Image.semi_words in
+  (* (Re)establish a to-space at least as large as from-space before
+     anything moves: with [from_words >= used >= live] the copy can never
+     overrun its destination, whatever resizing has happened since the
+     last collection. For the fixed-size configuration this reproduces
+     the classic semispace alternation exactly. *)
+  Vm.Interp.place_to_space st st.Vm.Interp.from_words;
   let c =
     {
       st;
       src_lo = st.Vm.Interp.from_base;
-      src_hi = st.Vm.Interp.from_base + semi;
+      src_hi = st.Vm.Interp.from_base + st.Vm.Interp.from_words;
       dst_lo = st.Vm.Interp.to_base;
-      dst_hi = st.Vm.Interp.to_base + semi;
+      dst_hi = st.Vm.Interp.to_base + st.Vm.Interp.to_words;
       to_alloc = st.Vm.Interp.to_base;
     }
   in
@@ -458,10 +554,18 @@ let collect (st : Vm.Interp.t) ~needed =
   Derived_update.rederive_all st adjusted;
   let t_red1 = now_ns () in
   T.Trace.end_span ();
-  let old_from = st.Vm.Interp.from_base in
+  let old_from = st.Vm.Interp.from_base
+  and old_fw = st.Vm.Interp.from_words in
   st.Vm.Interp.from_base <- st.Vm.Interp.to_base;
+  st.Vm.Interp.from_words <- st.Vm.Interp.to_words;
   st.Vm.Interp.to_base <- old_from;
+  st.Vm.Interp.to_words <- old_fw;
   st.Vm.Interp.alloc <- c.to_alloc;
+  (* Post-collection safe point: the only place the semispace target size
+     changes under the adaptive policy (no-op unless --heap-grow). Before
+     [gen_reset_after_full] so the generational reset sees the final
+     store geometry. *)
+  Vm.Interp.resize_after_collection st ~needed;
   (* In generational mode the survivors become the new (empty-nursery) old
      generation and the remembered set is void; reset before the post-pass
      so the verifier sees a consistent generational view. *)

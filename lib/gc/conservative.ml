@@ -86,7 +86,11 @@ let collect_now (c : t) =
   for a = Vm.Interp.sp st to st.Vm.Interp.image.Vm.Image.stack_top - 1 do
     consider st.Vm.Interp.mem.{a}
   done;
-  for a = st.Vm.Interp.image.Vm.Image.globals_base to st.Vm.Interp.image.Vm.Image.heap_base - 1
+  (* The static area ends at the stack (the map is statics, stack, heap):
+     scanning up to [heap_base] would treat dead stack slots below sp as
+     global roots and pin garbage. *)
+  for a = st.Vm.Interp.image.Vm.Image.globals_base
+      to st.Vm.Interp.image.Vm.Image.stack_base - 1
   do
     consider st.Vm.Interp.mem.{a}
   done;

@@ -61,6 +61,33 @@ let par_threshold () =
       | Some n -> n
       | None -> default_par_threshold)
 
+(* Per-round watchdog deadline for guarded dispatches. 0 (the default)
+   means no deadline: the dispatcher blocks on the condition variable
+   exactly as the unguarded path always has. A positive deadline switches
+   the retirement wait to a polling loop (OCaml's [Condition] has no timed
+   wait), after which a round whose workers have not retired is reported
+   as [Timeout] and the caller degrades to the serial collector. *)
+let forced_deadline_ms = ref None
+
+(** Set the per-round deadline in milliseconds (0 disables); overrides
+    [MM_GC_DEADLINE_MS]. *)
+let set_deadline_ms n = forced_deadline_ms := Some (max 0 n)
+
+let deadline_ns () =
+  let ms =
+    match !forced_deadline_ms with
+    | Some n -> n
+    | None -> ( match env_int "MM_GC_DEADLINE_MS" with Some n -> n | None -> 0)
+  in
+  Int64.of_int (ms * 1_000_000)
+
+(** Test-only fault injection: when set, the collector's parallel phases
+    call this for every (phase, round, worker) before doing any work, so
+    [lib/fault] can force a raise or a stall inside a chosen round of a
+    chosen phase without patching collector code. *)
+let fault_hook : (phase:string -> round:int -> worker:int -> unit) option ref =
+  ref None
+
 (* --- the pool ------------------------------------------------------ *)
 
 type pool = {
@@ -124,15 +151,24 @@ let worker_body idx =
     end
   done
 
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
 let shutdown () =
   Mutex.lock pool.m;
   pool.quit <- true;
   Condition.broadcast pool.cv_job;
+  let healthy = pool.pending = 0 in
   Mutex.unlock pool.m;
-  List.iter Domain.join pool.domains;
-  pool.domains <- [];
-  pool.spawned <- 0;
-  pool.quit <- false
+  (* Join only when every worker has retired. A stalled worker (watchdog
+     Timeout) would make the join hang forever; leaving its domain to be
+     reaped at process exit is the graceful option, and [quit] stays set
+     so it exits its loop if it ever finishes. *)
+  if healthy then begin
+    List.iter Domain.join pool.domains;
+    pool.domains <- [];
+    pool.spawned <- 0;
+    pool.quit <- false
+  end
 
 let ensure_spawned extra =
   if pool.spawned < extra then begin
@@ -143,29 +179,107 @@ let ensure_spawned extra =
     pool.spawned <- extra
   end
 
+(** Outcome of a guarded dispatch. [Fault] carries the first worker
+    exception; [Timeout] means a worker missed the round deadline (or a
+    worker stalled in an {e earlier} round never retired, in which case
+    the pool refuses to dispatch at all). In both non-[Done] cases every
+    side effect the job performed is already published or harmless, and
+    the caller is expected to redo the round serially. *)
+type status = Done | Fault of exn | Timeout
+
 (** Run [f 0 .. f (k-1)] concurrently, [f 0] on the calling thread, and
-    return when all have finished. [f] must partition its own work (e.g.
-    through an [Atomic] cursor). A worker exception is re-raised here after
-    every worker has retired; [k <= 1] calls [f 0] directly. *)
-let run ~workers:k (f : int -> unit) =
-  if k <= 1 then f 0
+    report how the round ended. [f] must partition its own work (e.g.
+    through an [Atomic] cursor). With [deadline_ns <= 0] the retirement
+    wait is the exact blocking wait the unguarded dispatcher always used;
+    with a positive deadline the wait polls (brief cpu_relax spin, then
+    0.1 ms sleeps) and gives up once the deadline passes, leaving the
+    stalled worker un-retired — later dispatches refuse the pool until it
+    retires ([quiesce]), so the collector degrades to serial rather than
+    blocking. *)
+let run_guarded ~workers:k ~deadline_ns (f : int -> unit) : status =
+  if k <= 1 then ( try f 0; Done with e -> Fault e)
   else begin
     ensure_spawned (k - 1);
     Mutex.lock pool.m;
-    pool.job <- Some f;
-    pool.job_limit <- k;
-    pool.pending <- pool.spawned;
-    pool.gen <- pool.gen + 1;
-    Condition.broadcast pool.cv_job;
-    Mutex.unlock pool.m;
-    (try f 0 with e -> record_failure e);
-    Mutex.lock pool.m;
-    while pool.pending > 0 do
-      Condition.wait pool.cv_done pool.m
-    done;
-    pool.job <- None;
-    let fail = pool.failure in
-    pool.failure <- None;
-    Mutex.unlock pool.m;
-    match fail with Some e -> raise e | None -> ()
+    if pool.pending > 0 then begin
+      (* A worker from a previous round never retired: the pool is
+         poisoned. Refuse the dispatch; the caller stays serial. *)
+      Mutex.unlock pool.m;
+      Timeout
+    end
+    else begin
+      pool.failure <- None;
+      pool.job <- Some f;
+      pool.job_limit <- k;
+      pool.pending <- pool.spawned;
+      pool.gen <- pool.gen + 1;
+      Condition.broadcast pool.cv_job;
+      Mutex.unlock pool.m;
+      let caller_fail = (try f 0; None with e -> Some e) in
+      let timed_out =
+        if Int64.compare deadline_ns 0L <= 0 then begin
+          Mutex.lock pool.m;
+          while pool.pending > 0 do
+            Condition.wait pool.cv_done pool.m
+          done;
+          Mutex.unlock pool.m;
+          false
+        end
+        else begin
+          let t0 = now_ns () in
+          let rec wait spins =
+            Mutex.lock pool.m;
+            let pending = pool.pending in
+            Mutex.unlock pool.m;
+            if pending = 0 then false
+            else if Int64.compare (Int64.sub (now_ns ()) t0) deadline_ns > 0
+            then true
+            else begin
+              if spins < 1000 then Domain.cpu_relax () else Unix.sleepf 1e-4;
+              wait (spins + 1)
+            end
+          in
+          wait 0
+        end
+      in
+      if timed_out then Timeout
+      else begin
+        Mutex.lock pool.m;
+        pool.job <- None;
+        let fail = pool.failure in
+        pool.failure <- None;
+        Mutex.unlock pool.m;
+        match (caller_fail, fail) with
+        | Some e, _ | None, Some e -> Fault e
+        | None, None -> Done
+      end
+    end
   end
+
+(** Wait (bounded) for every worker of a timed-out round to retire, so the
+    pool is healthy again. Tests call this between stall injections; the
+    collector itself never waits — it degrades serially instead. *)
+let quiesce ~timeout_s =
+  let t0 = now_ns () in
+  let limit = Int64.of_float (timeout_s *. 1e9) in
+  let rec wait () =
+    Mutex.lock pool.m;
+    let pending = pool.pending in
+    if pending = 0 then pool.job <- None;
+    Mutex.unlock pool.m;
+    if pending = 0 then true
+    else if Int64.compare (Int64.sub (now_ns ()) t0) limit > 0 then false
+    else begin
+      Unix.sleepf 1e-3;
+      wait ()
+    end
+  in
+  wait ()
+
+(** The unguarded dispatcher: [run_guarded] with no deadline, re-raising a
+    worker exception once every worker has retired. *)
+let run ~workers:k (f : int -> unit) =
+  match run_guarded ~workers:k ~deadline_ns:0L f with
+  | Done -> ()
+  | Fault e -> raise e
+  | Timeout -> failwith "Gc_pool.run: pool busy (un-retired stalled worker)"

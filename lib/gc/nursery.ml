@@ -42,6 +42,7 @@ let h_minor_pause = T.Metrics.histogram "gc.minor_pause_ns"
 let h_minor_words = T.Metrics.histogram "gc.minor_words"
 let h_is_minor = T.Metrics.histogram "gc.is_minor"
 let h_remset = T.Metrics.histogram "gc.remset_roots"
+let c_emergency = T.Metrics.counter "gc_pressure.emergency_full"
 
 (** Default nursery: a quarter semispace, but never less than 300 words —
     on tiny heaps the nursery degenerates to the whole semispace and every
@@ -171,21 +172,30 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
     nursery's survivors are guaranteed to fit the old generation's
     headroom, the ordinary full compaction otherwise (or when the minor
     did not recover enough). *)
+(* A full collection forced by promotion failure (no headroom for the
+   nursery's survivors, or a minor that did not recover enough) — the
+   escalation rung the Gc_pressure group counts as an emergency. *)
+let emergency (st : Vm.Interp.t) ~needed =
+  st.Vm.Interp.gc.Vm.Interp.emergency_full <-
+    st.Vm.Interp.gc.Vm.Interp.emergency_full + 1;
+  T.Metrics.incr c_emergency;
+  Cheney.collect st ~needed
+
 let collect (st : Vm.Interp.t) ~needed =
   match st.Vm.Interp.gen with
   | None -> Cheney.collect st ~needed
   | Some g ->
       let used = g.Vm.Interp.nursery_alloc - g.Vm.Interp.nursery_base in
       let headroom = g.Vm.Interp.nursery_base - g.Vm.Interp.old_alloc in
-      if needed > g.Vm.Interp.nursery_cap || headroom < used then
-        Cheney.collect st ~needed
+      if needed > g.Vm.Interp.nursery_cap then Cheney.collect st ~needed
+      else if headroom < used then emergency st ~needed
       else begin
         minor st g;
-        if Vm.Interp.gen_nursery_free st g < needed then Cheney.collect st ~needed
+        if Vm.Interp.gen_nursery_free st g < needed then emergency st ~needed
       end
 
 let install ?nursery_words (st : Vm.Interp.t) =
-  let semi = st.Vm.Interp.image.Vm.Image.semi_words in
+  let semi = st.Vm.Interp.from_words in
   let words =
     match nursery_words with Some w -> w | None -> default_nursery_words semi
   in

@@ -88,9 +88,12 @@ let violate c fmt =
 (* Heap walk                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The heap region is everything from [heap_base] to the end of the
+   current store: the heap is the last region of the memory map, and the
+   adaptive policy may have grown or shrunk the store since startup, so
+   the bound is read from the live store, not the image. *)
 let heap_lo (st : Vm.Interp.t) = st.Vm.Interp.image.Vm.Image.heap_base
-let heap_hi (st : Vm.Interp.t) =
-  st.Vm.Interp.image.Vm.Image.heap_base + (2 * st.Vm.Interp.image.Vm.Image.semi_words)
+let heap_hi (st : Vm.Interp.t) = Vm.Mem.length st.Vm.Interp.mem
 
 let in_heap_region st v = v >= heap_lo st && v < heap_hi st
 
@@ -160,18 +163,32 @@ let walk_region c lo hi =
 let walk_heap c =
   let st = c.st in
   let lo = st.Vm.Interp.from_base in
-  let semi = st.Vm.Interp.image.Vm.Image.semi_words in
-  if lo <> heap_lo st && lo <> heap_lo st + semi then begin
-    violate c "from_base %d is not a semispace base" lo;
+  let fw = st.Vm.Interp.from_words in
+  let tb = st.Vm.Interp.to_base and tw = st.Vm.Interp.to_words in
+  (* Geometry sanity under the adaptive policy: both spaces must lie
+     inside the heap region of the current store, and must not overlap —
+     the tracked fields replace the fixed two-semispace layout check. *)
+  if lo < heap_lo st || fw < 0 || lo + fw > heap_hi st then begin
+    violate c "from-space [%d, %d) outside the heap region [%d, %d)" lo (lo + fw)
+      (heap_lo st) (heap_hi st);
+    c.walk_ok <- false
+  end
+  else if tb < heap_lo st || tw < 0 || tb + tw > heap_hi st then begin
+    violate c "to-space [%d, %d) outside the heap region [%d, %d)" tb (tb + tw)
+      (heap_lo st) (heap_hi st);
+    c.walk_ok <- false
+  end
+  else if tb < lo + fw && lo < tb + tw then begin
+    violate c "to-space [%d, %d) overlaps from-space [%d, %d)" tb (tb + tw) lo (lo + fw);
     c.walk_ok <- false
   end
   else
     match st.Vm.Interp.gen with
     | None ->
         let hi = st.Vm.Interp.alloc in
-        if hi < lo || hi > lo + semi then begin
-          violate c "allocation frontier %d outside the current semispace [%d, %d]" hi lo
-            (lo + semi);
+        if hi < lo || hi > lo + fw then begin
+          violate c "allocation frontier %d outside the current from-space [%d, %d]" hi lo
+            (lo + fw);
           c.walk_ok <- false
         end
         else walk_region c lo hi
@@ -179,11 +196,11 @@ let walk_heap c =
         (* Two live regions: old generation, then the nursery. *)
         let old_hi = g.Vm.Interp.old_alloc in
         let nb = g.Vm.Interp.nursery_base and na = g.Vm.Interp.nursery_alloc in
-        if old_hi < lo || old_hi > nb || nb > na || na > lo + semi then begin
+        if old_hi < lo || old_hi > nb || nb > na || na > lo + fw then begin
           violate c
             "generational frontiers out of order: from_base %d <= old_alloc %d <= \
              nursery_base %d <= nursery_alloc %d <= %d violated"
-            lo old_hi nb na (lo + semi);
+            lo old_hi nb na (lo + fw);
           c.walk_ok <- false
         end
         else begin

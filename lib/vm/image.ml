@@ -5,10 +5,18 @@
       0..7                  reserved (address 0 is NIL)
       globals_base..        global variables
       texts..               static TEXT literals (header, length, chars)
+      stack_base..stack_top the stack (grows downward from stack_top)
       heap_base..           semispace 0
       heap_base+semi..      semispace 1
-      stack_base..stack_top the stack (grows downward from stack_top)
-    v} *)
+    v}
+
+    The heap is deliberately the {e last} region: untagged heap pointers
+    can never be rebased, so the only way the heap can grow at run time
+    is for the store to be extended in place ({!Mem.realloc}) with every
+    existing address — globals, stack, live objects — unchanged. The
+    [semi_words]/[heap_base] fields describe the {e initial} geometry;
+    the live geometry (which may have grown or shrunk) lives on the
+    interpreter state ({!Interp.t.from_words} etc.). *)
 
 module I = Machine.Insn
 module RM = Gcmaps.Rawmaps
@@ -209,11 +217,12 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
         code_fid.(i) <- pi.pi_fid
       done)
     procs;
-  (* 6. Memory map. *)
-  let heap_base = ((!cursor + 7) / 8 * 8) + 8 in
-  let semi = opts.heap_words in
-  let stack_base = heap_base + (2 * semi) in
+  (* 6. Memory map: statics, then the stack, then the heap last (so the
+     store can be extended without moving any existing address). *)
+  let stack_base = ((!cursor + 7) / 8 * 8) + 8 in
   let stack_top = stack_base + opts.stack_words in
+  let heap_base = (stack_top + 7) / 8 * 8 in
+  let semi = opts.heap_words in
   {
     code;
     insn_offsets;
@@ -233,7 +242,7 @@ let build ?(opts = default_build_options) (prog : Mir.Ir.program) : t =
     semi_words = semi;
     stack_base;
     stack_top;
-    total_words = stack_top;
+    total_words = heap_base + (2 * semi);
     tables;
     decode_cache = Gcmaps.Decode_cache.create tables;
     rawmaps;

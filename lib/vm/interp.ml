@@ -21,6 +21,13 @@ let c_instructions = Telemetry.Metrics.counter "vm.instructions"
 let c_barriers = Telemetry.Metrics.counter "gc.barrier_execs"
 let c_remset_inserts = Telemetry.Metrics.counter "gc.remset_inserts"
 
+(* The Gc_pressure telemetry group: adaptive-heap events. *)
+let c_resizes = Telemetry.Metrics.counter "gc_pressure.resizes"
+let c_grow_words = Telemetry.Metrics.counter "gc_pressure.grow_words"
+let c_shrinks = Telemetry.Metrics.counter "gc_pressure.shrinks"
+let c_retries = Telemetry.Metrics.counter "gc_pressure.retries"
+let h_headroom = Telemetry.Metrics.histogram "gc_pressure.headroom_ratio"
+
 type gc_stats = {
   mutable collections : int;
   mutable words_copied : int;
@@ -30,6 +37,9 @@ type gc_stats = {
   mutable frames_traced : int;
   mutable objects_copied : int;
   mutable minor_collections : int; (* generational mode only *)
+  mutable resizes : int; (* adaptive-heap grow/shrink events *)
+  mutable emergency_full : int; (* full collections forced by promotion failure *)
+  mutable serial_replays : int; (* parallel rounds abandoned and replayed serially *)
 }
 
 (** Generational-mode heap state (installed by [Gc.Nursery]). The current
@@ -44,7 +54,8 @@ type gen_state = {
   mutable old_alloc : int; (* old-generation frontier *)
   mutable nursery_base : int;
   mutable nursery_alloc : int; (* nursery bump pointer *)
-  dirty : Bytes.t; (* per-heap-word dedup map, index = addr - heap_base *)
+  mutable dirty : Bytes.t; (* per-heap-word dedup map, index = addr - heap_base;
+                              replaced when the heap grows past its span *)
   mutable remset : int array; (* recorded old-gen slot addresses *)
   mutable remset_len : int;
   mutable big_objects : int list;
@@ -58,15 +69,28 @@ type gen_state = {
 
 type t = {
   image : Image.t;
-  mem : Mem.t;
+  mutable mem : Mem.t; (* replaced (longer, same prefix) when the heap grows *)
   regs : int array;
   mutable pc : int;
   mutable halted : bool;
   out : Buffer.t;
-  (* Heap state (flipped by the collector). *)
+  (* Heap state (flipped by the collector). The semispace geometry is
+     tracked here, not derived from the image: [image.semi_words] is only
+     the initial size, and the two spaces may differ transiently while a
+     resize is in flight between collections. *)
   mutable from_base : int;
+  mutable from_words : int;
   mutable to_base : int;
+  mutable to_words : int;
   mutable alloc : int;
+  (* Adaptive-heap policy (off by default: fixed semispaces, exactly the
+     pre-resize behavior). [heap_max_words] caps one semispace. *)
+  mutable heap_resize : bool;
+  mutable heap_max_words : int;
+  mutable heap_min_words : int;
+  mutable alloc_pressure_every : int;
+    (* fault injection: force the allocation slow path (collect/grow)
+       every Nth allocation; 0 = off *)
   mutable free_list : (int * int) list; (* (addr, size) — used by the
                                            non-moving conservative collector *)
   mutable collector : (t -> needed:int -> unit) option;
@@ -90,8 +114,14 @@ let create (image : Image.t) : t =
     halted = false;
     out = Buffer.create 256;
     from_base = image.Image.heap_base;
+    from_words = image.Image.semi_words;
     to_base = image.Image.heap_base + image.Image.semi_words;
+    to_words = image.Image.semi_words;
     alloc = image.Image.heap_base;
+    heap_resize = false;
+    heap_max_words = image.Image.semi_words;
+    heap_min_words = image.Image.semi_words;
+    alloc_pressure_every = 0;
     free_list = [];
     collector = None;
     gen = None;
@@ -111,6 +141,9 @@ let create (image : Image.t) : t =
         frames_traced = 0;
         objects_copied = 0;
         minor_collections = 0;
+        resizes = 0;
+        emergency_full = 0;
+        serial_replays = 0;
       };
   }
 
@@ -183,11 +216,94 @@ let push t v =
 (* Allocation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let heap_free t = t.from_base + t.image.Image.semi_words - t.alloc
+let heap_free t = t.from_base + t.from_words - t.alloc
+
+(* --- adaptive semispace geometry ----------------------------------- *)
+
+(* The store only ever needs to cover the heap regions: the heap is the
+   last region of the memory map, so extending the store preserves every
+   address (see {!Image} and {!Mem.realloc}). *)
+let store_need t hi = if hi > Mem.length t.mem then t.mem <- Mem.realloc t.mem hi
+
+(** Place an (empty) to-space of [words] words deterministically: below
+    from-space when the gap above [heap_base] fits it, directly above
+    from-space otherwise. With equal fixed sizes this reproduces the
+    classic semispace alternation exactly; after a resize it finds the
+    first legal placement. to-space holds no live data between
+    collections, so re-placing it is always sound. *)
+let place_to_space t words =
+  let hb = t.image.Image.heap_base in
+  if t.from_base - hb >= words then t.to_base <- hb
+  else t.to_base <- t.from_base + t.from_words;
+  t.to_words <- words;
+  store_need t (t.to_base + words)
+
+(* Drop a disproportionately large dead tail of the store (after a
+   shrink): the heap regions are the last thing in the store, so cutting
+   past their ends loses nothing. *)
+let compact_store t =
+  let hi = max (t.from_base + t.from_words) (t.to_base + t.to_words) in
+  let len = Mem.length t.mem in
+  if len - hi >= max 4096 (len / 4) then t.mem <- Mem.realloc t.mem hi
+
+(** Retarget both logical semispaces to [words] words. From-space data
+    stays exactly where it is — growing extends it in place over dead
+    store (or fresh zeroed store), shrinking only lowers the allocation
+    limit (the caller guarantees [alloc - from_base <= words]) — and
+    to-space is re-placed to fit. *)
+let retarget_semi t words =
+  t.from_words <- words;
+  store_need t (t.from_base + words);
+  place_to_space t words;
+  compact_store t
+
+(** Replace the store with a fresh identical copy. Containment device for
+    a timed-out collector worker (see {!Gc.Gc_pool}): the stalled domain
+    still holds the old store and may scribble late same-value writes into
+    it; after the swap those writes land in an unreachable buffer. *)
+let quarantine_store t = t.mem <- Mem.realloc t.mem (Mem.length t.mem)
+
+let grow_high_pct = 65 (* grow when live > 65% of a semispace post-collection *)
+let shrink_low_pct = 20 (* shrink when live < 20% (and above the initial size) *)
+
+(** The post-collection resize policy, run at the safe point right after
+    the flip (from-space = the survivors, to-space dead). [needed] is the
+    allocation request that triggered the collection, threaded through so
+    the new size always fits it when the cap allows it at all. *)
+let resize_after_collection t ~needed =
+  if t.heap_resize then begin
+    let live = t.alloc - t.from_base in
+    let fw = t.from_words in
+    let cap = t.heap_max_words in
+    if fw > 0 then
+      Telemetry.Metrics.observe h_headroom
+        (float_of_int (fw - live) /. float_of_int fw);
+    let must = live + needed in
+    let target =
+      if must > fw || live * 100 > grow_high_pct * fw then
+        min cap (max (2 * fw) (must + (must / 2)))
+      else if live * 100 < shrink_low_pct * fw && fw > t.heap_min_words then
+        max t.heap_min_words (max (4 * live) must)
+      else fw
+    in
+    (* Even at the cap, fit the request whenever the cap allows it. *)
+    let target = if must > target && must <= cap then must else target in
+    if target <> fw then begin
+      t.gc.resizes <- t.gc.resizes + 1;
+      Telemetry.Metrics.incr c_resizes;
+      if target > fw then Telemetry.Metrics.incr ~by:(target - fw) c_grow_words
+      else Telemetry.Metrics.incr c_shrinks;
+      retarget_semi t target
+    end;
+    (* Soft watermark: warn once when the live set closes on the cap. *)
+    if live * 100 >= 80 * cap then
+      Telemetry.Log.warn_once
+        "heap pressure: live set within 20%% of the --heap-max cap (%d words)" cap
+  end
 
 (* --- generational mode -------------------------------------------- *)
 
-let gen_nursery_limit t = t.from_base + t.image.Image.semi_words
+let gen_nursery_limit t = t.from_base + t.from_words
 let gen_nursery_free t (g : gen_state) = gen_nursery_limit t - g.nursery_alloc
 
 (** Install generational heap state: the nursery takes the top
@@ -195,7 +311,7 @@ let gen_nursery_free t (g : gen_state) = gen_nursery_limit t - g.nursery_alloc
     generation is whatever already sits at the bottom — empty on a fresh
     machine. *)
 let gen_init t ~nursery_words =
-  let semi = t.image.Image.semi_words in
+  let semi = t.from_words in
   let cap = min semi (max 1 nursery_words) in
   let base = max t.alloc (t.from_base + semi - cap) in
   let g =
@@ -204,7 +320,7 @@ let gen_init t ~nursery_words =
       old_alloc = t.alloc;
       nursery_base = base;
       nursery_alloc = base;
-      dirty = Bytes.make (2 * semi) '\000';
+      dirty = Bytes.make (Mem.length t.mem - t.image.Image.heap_base) '\000';
       remset = Array.make 64 0;
       remset_len = 0;
       big_objects = [];
@@ -228,9 +344,16 @@ let gen_reset_after_full t =
       g.nursery_base <- base;
       g.nursery_alloc <- base;
       let hb = t.image.Image.heap_base in
-      for i = 0 to g.remset_len - 1 do
-        Bytes.set g.dirty (g.remset.(i) - hb) '\000'
-      done;
+      let span = Mem.length t.mem - hb in
+      if Bytes.length g.dirty < span then
+        (* The heap grew past the dirty map's span: a fresh all-clean map
+           is correct, since every recorded slot referred to the old
+           from-space and the remembered set is being voided anyway. *)
+        g.dirty <- Bytes.make span '\000'
+      else
+        for i = 0 to g.remset_len - 1 do
+          Bytes.set g.dirty (g.remset.(i) - hb) '\000'
+        done;
       g.remset_len <- 0;
       g.big_objects <- []
 
@@ -272,9 +395,37 @@ let allocate_gen t (g : gen_state) size =
     a
   end
 
+(* The escalation ladder of the flat-heap slow path:
+   1. below the cap, extend from-space in place — no collection, no data
+      movement, and (because allocation proceeds at unchanged addresses)
+      a run started on a small heap stays byte-identical to one started
+      on a cap-sized fixed heap, collections included;
+   2. at the cap, collect (the collector's own post-flip policy may still
+      grow/shrink within the cap using [needed]);
+   3. if the collection left the request unmet and cap room appeared,
+      collect once more (counted as a retry);
+   4. the caller raises typed [Heap_exhausted] — only ever at the cap. *)
 let ensure_space t needed =
-  if heap_free t < needed then
-    match t.collector with Some collect -> collect t ~needed | None -> ()
+  if heap_free t < needed then begin
+    if t.heap_resize && t.from_words < t.heap_max_words then begin
+      let live = t.alloc - t.from_base in
+      let target =
+        min t.heap_max_words (max (2 * t.from_words) (live + needed))
+      in
+      t.gc.resizes <- t.gc.resizes + 1;
+      Telemetry.Metrics.incr c_resizes;
+      Telemetry.Metrics.incr ~by:(target - t.from_words) c_grow_words;
+      retarget_semi t target
+    end;
+    if heap_free t < needed then begin
+      (match t.collector with Some collect -> collect t ~needed | None -> ());
+      if heap_free t < needed && t.heap_resize && t.from_words < t.heap_max_words
+      then begin
+        Telemetry.Metrics.incr c_retries;
+        match t.collector with Some collect -> collect t ~needed | None -> ()
+      end
+    end
+  end
 
 (* First-fit from the free list (installed by the non-moving conservative
    collector); the remainder of a larger block is returned to the list. *)
@@ -309,6 +460,13 @@ let allocate_flat t size =
           a)
 
 let allocate t size =
+  (* Allocation-failure storm (fault injection): force the slow path —
+     a full trip through collect/grow — every Nth allocation. Purely
+     deterministic, so storm runs are reproducible. *)
+  if
+    t.alloc_pressure_every > 0
+    && (t.alloc_count + 1) mod t.alloc_pressure_every = 0
+  then (match t.collector with Some c -> c t ~needed:size | None -> ());
   match t.gen with Some g -> allocate_gen t g size | None -> allocate_flat t size
 
 let rt_alloc t ?(site = -1) tdid ~length =
@@ -517,7 +675,7 @@ let run_with ~loop ?(fuel = max_int) t =
         ~args:[ ("instructions", Telemetry.Json.Int (t.icount - icount0)) ]
         ())
     (fun () -> loop t ~fuel);
-  if not t.halted then Vm_error.fail "out of fuel after %d instructions" fuel
+  if not t.halted then Vm_error.(error (Out_of_fuel { instructions = fuel }))
 
 let switch_loop t ~fuel =
   let budget = ref fuel in

@@ -61,6 +61,21 @@ let blit (m : t) ~src ~dst ~len =
       done
   else Bigarray.Array1.(blit (sub m src len) (sub m dst len))
 
+(** A fresh store of [words] words holding this store's contents as a
+    prefix (truncated if [words] is smaller); any extension is zeroed.
+    This is the whole resize mechanism of the adaptive heap: because the
+    heap is the {e last} region of the memory map, replacing the store
+    with a longer copy preserves every existing word address — statics,
+    stack and live heap data all keep their numeric addresses, so no
+    pointer anywhere needs rebasing. *)
+let realloc (m : t) words : t =
+  let d = Bigarray.Array1.create Bigarray.int Bigarray.c_layout words in
+  let n = min words (length m) in
+  if n > 0 then
+    Bigarray.Array1.(blit (sub m 0 n) (sub d 0 n));
+  if words > n then Bigarray.Array1.(fill (sub d n (words - n)) 0);
+  d
+
 (** A fresh store holding the same words (test snapshots). *)
 let copy (m : t) : t =
   let d = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (length m) in

@@ -19,12 +19,17 @@ type t =
   | Verify_failed of { collection : int; phase : string; violations : string list }
       (** The heap verifier found inconsistencies [phase] ("pre"/"post")
           collection number [collection]. *)
+  | Out_of_fuel of { instructions : int }
+      (** The run exceeded its instruction budget — the fault harness's
+          hang class, typed so nothing needs to string-match messages. *)
 
 let to_string = function
   | Generic s -> s
   (* Exactly the message [fail "heap exhausted (%d words)"] used to print,
      so mmrun output is unchanged. *)
   | Heap_exhausted { needed; free = _ } -> Printf.sprintf "heap exhausted (%d words)" needed
+  | Out_of_fuel { instructions } ->
+      Printf.sprintf "out of fuel after %d instructions" instructions
   | Corrupt_table { fid; offset; reason } ->
       Printf.sprintf "corrupt gc table (proc %d, code offset %d): %s" fid offset reason
   | Bad_root { loc; value; reason } ->
@@ -34,6 +39,18 @@ let to_string = function
         phase collection (List.length violations)
         (if List.length violations = 1 then "" else "s")
         (String.concat "\n  " violations)
+
+(** Distinct mmrun process exit codes per failure class, so harnesses can
+    assert on the code instead of string-matching stderr. Documented in
+    the README; 0 is success, guest-program traps use 3, and cmdliner
+    keeps 124 for CLI/compile errors. *)
+let exit_code = function
+  | Generic _ -> 10
+  | Corrupt_table _ -> 11
+  | Bad_root _ -> 12
+  | Heap_exhausted _ -> 13
+  | Verify_failed _ -> 14
+  | Out_of_fuel _ -> 15
 
 exception Error of t
 

@@ -234,15 +234,20 @@ let to_m3l (p : prog) : string =
 (* The differential property                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Heap sizing is deterministic per generated program: starting from the
-   smallest heap that makes collections strike at arbitrary gc-points, the
-   size doubles until every configuration completes, and the property then
-   demands output equality from every one of them. (The suite used to run
-   all configurations at a fixed 600 words and silently tolerate
-   [Heap_exhausted] — a rare list-heavy program turned the property vacuous
-   for whichever configurations happened to exhaust, which also made the
-   suite's effective coverage nondeterministic across seeds.) *)
-let run_cfg src (optimize, checks, heap, collector, barrier_elim) =
+(* Heap sizing is no longer fitted per program: the moving-collector
+   configurations start from a tiny [small_heap]-word semispace with
+   adaptive growth armed (capped at [grow_cap], the reference heap size),
+   so collections strike at arbitrary gc-points early in the run and the
+   heap then grows to whatever the program needs. The property demands
+   output equality with the big fixed-heap reference from every
+   configuration — growth must be observationally invisible. A program
+   that exhausts even the cap raises [Heap_exhausted], which fails the
+   property. (The suite used to double a fixed heap per seed until every
+   configuration completed; adaptive resizing makes that loop obsolete.) *)
+let small_heap = 600
+let grow_cap = 65536
+
+let run_cfg src (optimize, checks, heap, collector, barrier_elim, grow) =
   let options =
     {
       Driver.Compile.default_options with
@@ -252,32 +257,32 @@ let run_cfg src (optimize, checks, heap, collector, barrier_elim) =
       barrier_elim;
     }
   in
-  try
-    Some (Driver.Compile.run_source ~options ~collector ~fuel:20_000_000 src).Driver.Compile.output
-  with Vm.Vm_error.Error (Vm.Vm_error.Heap_exhausted _) -> None
+  let heap_grow = if grow then Some true else None in
+  let heap_max_words = if grow then Some grow_cap else None in
+  (Driver.Compile.run_source ~options ~collector ~fuel:20_000_000 ?heap_grow
+     ?heap_max_words src)
+    .Driver.Compile.output
 
-(* The configuration matrix at small-heap size [h]. The first entry is the
-   reference (big heap, unoptimized, precise). The conservative collector
-   is non-moving and fragments, so it gets proportional extra room. *)
-let configs h =
+(* The configuration matrix. The first entry is the reference (big fixed
+   heap, unoptimized, precise). The conservative collector is non-moving
+   and cannot resize, so it keeps a big fixed heap. *)
+let configs =
+  let h = small_heap in
   [
-    (false, true, 65536, Driver.Compile.Precise, true);
-    (true, true, 65536, Driver.Compile.Precise, true);
-    (false, true, h, Driver.Compile.Precise, true);
-    (true, true, h, Driver.Compile.Precise, true);
-    (false, false, h, Driver.Compile.Precise, true);
-    (true, false, h, Driver.Compile.Precise, true);
-    (false, true, 4 * h, Driver.Compile.Conservative, true);
+    (false, true, 65536, Driver.Compile.Precise, true, false);
+    (true, true, 65536, Driver.Compile.Precise, true, false);
+    (false, true, h, Driver.Compile.Precise, true, true);
+    (true, true, h, Driver.Compile.Precise, true, true);
+    (false, false, h, Driver.Compile.Precise, true, true);
+    (true, false, h, Driver.Compile.Precise, true, true);
+    (false, true, 65536, Driver.Compile.Conservative, true, false);
     (* generational × {barrier elimination on, off} *)
-    (false, true, 65536, Driver.Compile.Generational, true);
-    (false, true, h, Driver.Compile.Generational, true);
-    (true, true, h, Driver.Compile.Generational, true);
-    (false, true, h, Driver.Compile.Generational, false);
-    (true, true, h, Driver.Compile.Generational, false);
+    (false, true, 65536, Driver.Compile.Generational, true, false);
+    (false, true, h, Driver.Compile.Generational, true, true);
+    (true, true, h, Driver.Compile.Generational, true, true);
+    (false, true, h, Driver.Compile.Generational, false, true);
+    (true, true, h, Driver.Compile.Generational, false, true);
   ]
-
-let fit_start = 600
-let fit_cap = 65536
 
 let prop_differential =
   QCheck.Test.make ~name:"random programs agree across all configurations" ~count:60
@@ -295,36 +300,30 @@ let prop_differential =
       Fun.protect
         ~finally:(fun () -> Gc.Verify.set_post post0)
         (fun () ->
-          let rec fit h =
-            let outs = List.map (run_cfg src) (configs h) in
-            if List.for_all Option.is_some outs then List.map Option.get outs
-            else if h >= fit_cap then
-              QCheck.Test.fail_reportf
-                "a configuration exhausted even a %d-word heap" h
-            else fit (2 * h)
-          in
-          match fit fit_start with
+          match List.map (run_cfg src) configs with
           | reference :: rest -> List.for_all (fun out -> out = reference) rest
           | [] -> false))
 
 let prop_collections_strike =
-  (* Sanity: the fitted small-heap configuration really does collect on
-     list-heavy programs (otherwise the property above is vacuous). The
-     same doubling rule keeps this deterministic per program. *)
-  QCheck.Test.make ~name:"small heaps collect on list-heavy programs" ~count:30
-    (QCheck.make gen_prog) (fun p ->
+  (* Sanity: the tiny starting heap really does put the resize machinery
+     under pressure on allocating programs (otherwise the property above
+     degenerates into big-heap-only coverage). Whenever a program
+     allocates more words than the starting semispace holds, the grown
+     run must have either collected or resized. *)
+  QCheck.Test.make ~name:"small heaps collect or grow on list-heavy programs"
+    ~count:30 (QCheck.make gen_prog) (fun p ->
       let src = to_m3l p in
-      let rec fit h =
-        match run_cfg src (false, true, h, Driver.Compile.Precise, true) with
-        | Some _ -> h
-        | None when h >= fit_cap ->
-            QCheck.Test.fail_reportf "exhausted even a %d-word heap" h
-        | None -> fit (2 * h)
+      let options =
+        { Driver.Compile.default_options with heap_words = small_heap }
       in
-      let h = fit fit_start in
-      let options = { Driver.Compile.default_options with heap_words = h } in
-      let r = Driver.Compile.run_source ~options ~fuel:20_000_000 src in
-      r.Driver.Compile.collections >= 0)
+      let r =
+        Driver.Compile.run_source ~options ~fuel:20_000_000 ~heap_grow:true
+          ~heap_max_words:grow_cap src
+      in
+      if r.Driver.Compile.alloc_words > small_heap then
+        r.Driver.Compile.collections > 0
+        || r.Driver.Compile.gc.Vm.Interp.resizes > 0
+      else true)
 
 let () =
   Alcotest.run "random"

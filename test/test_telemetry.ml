@@ -252,7 +252,11 @@ let test_end_to_end_gc_phases () =
   let options =
     { Driver.Compile.default_options with optimize = true; heap_words = 300 }
   in
-  let r = Driver.Compile.run_source ~options Programs.Ambig_src.src in
+  let r =
+    Driver.Compile.run_source ~options
+      ~heap_grow:false (* the small heap must collect, not grow *)
+      Programs.Ambig_src.src
+  in
   check Alcotest.bool "at least one collection" true (r.Driver.Compile.collections >= 1);
   let n = T.Metrics.counter_value "gc.collections" in
   check Alcotest.int "metrics agree with run result" r.Driver.Compile.collections n;

@@ -1,24 +1,38 @@
-(* faultgen — the table fault-injection sweep as a standalone tool.
+(* faultgen — the fault-injection sweeps as a standalone tool.
 
      faultgen                         # default: 60 mutations/config, cross-check on
      faultgen --iters 50 --seed 7
      faultgen --no-cross-check        # let corrupt tables reach the collector
+     faultgen --no-runtime            # skip the runtime (worker/storm) sweep
      faultgen --out report.json      # machine-readable report (CI artifact)
 
-   Mutates the encoded gc-table streams of the benchmark programs (bit
-   flips, byte rewrites, truncations, varint padding, byte swaps) across
-   every scheme × packing config and classifies each run. Exit 0 iff no
-   mutation crashed the runtime, hung it, or (under the cross-check)
-   silently diverged; prints the failing mutations and exits 1 otherwise.
-   Used by `make fault` / CI. *)
+   Two sweeps share the outcome classification table:
 
-let usage = "usage: faultgen [--iters N] [--seed N] [--out FILE.json] [--no-cross-check]"
+   - Table mutations: the encoded gc-table streams of the benchmark
+     programs are mutated (bit flips, byte rewrites, truncations, varint
+     padding, byte swaps) across every scheme × packing config and each
+     run is classified.
+   - Runtime faults: the running collector itself is attacked — a worker
+     raise in every parallel round, a stall past the round watchdog in
+     every round, and an allocation-failure storm — with the
+     post-collection verifier armed. The expected outcome is "recovered"
+     (the serial round replay contained the fault with byte-identical
+     results) or "benign" (the fault never triggered).
+
+   Exit 0 iff no case crashed the runtime, hung it, flagged the verifier,
+   or (under the cross-check) silently diverged; prints the failing cases
+   and exits 1 otherwise. Used by `make fault` / CI. *)
+
+let usage =
+  "usage: faultgen [--iters N] [--seed N] [--out FILE.json] [--no-cross-check] \
+   [--no-runtime]"
 
 let () =
   let iters = ref 60 in
   let seed = ref 0x7a11 in
   let out = ref "" in
   let cross_check = ref true in
+  let runtime = ref true in
   let rec parse = function
     | [] -> ()
     | "--iters" :: v :: rest ->
@@ -33,18 +47,25 @@ let () =
     | "--no-cross-check" :: rest ->
         cross_check := false;
         parse rest
+    | "--no-runtime" :: rest ->
+        runtime := false;
+        parse rest
     | arg :: _ ->
         prerr_endline ("faultgen: unknown argument " ^ arg);
         prerr_endline usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let sweeps =
+  let table_sweeps =
     Fault.Faultinject.sweep_all ~cross_check:!cross_check ~seed:!seed
       ~iterations_per_config:!iters ()
   in
+  let runtime_sweeps =
+    if !runtime then Fault.Faultinject.runtime_sweep_all () else []
+  in
+  let sweeps = table_sweeps @ runtime_sweeps in
   let total = List.fold_left (fun a (s : Fault.Faultinject.sweep) -> a + s.iterations) 0 sweeps in
-  Printf.printf "%-14s %-16s %6s %s\n" "program" "config" "iters" "outcomes";
+  Printf.printf "%-14s %-18s %6s %s\n" "program" "config" "iters" "outcomes";
   List.iter
     (fun (s : Fault.Faultinject.sweep) ->
       let outcomes =
@@ -53,7 +74,7 @@ let () =
         |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
         |> String.concat " "
       in
-      Printf.printf "%-14s %-16s %6d %s\n" s.program s.config s.iterations outcomes)
+      Printf.printf "%-14s %-18s %6d %s\n" s.program s.config s.iterations outcomes)
     sweeps;
   let failures =
     List.concat_map
@@ -61,7 +82,7 @@ let () =
         List.map (fun c -> (s.program, s.config, c)) s.failures)
       sweeps
   in
-  Printf.printf "total: %d mutations, %d failure(s)\n" total (List.length failures);
+  Printf.printf "total: %d cases, %d failure(s)\n" total (List.length failures);
   List.iter
     (fun (prog, cfg, (c : Fault.Faultinject.case)) ->
       Printf.printf "FAILURE %s/%s %s: %s%s\n" prog cfg c.mutation
