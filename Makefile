@@ -12,7 +12,7 @@ PROFILE_OUT := _build/smoke.profile.json
 
 .PHONY: all build test test-verified test-gen test-switch test-workers \
 	test-pressure smoke fault profile check bench bench-perf bench-gen \
-	bench-mutator bench-pauses bench-copy bench-pressure clean
+	bench-mutator bench-pauses bench-copy bench-pressure bench-pgo clean
 
 all: build
 
@@ -119,6 +119,12 @@ bench-copy: build
 # byte-identical under growth; writes BENCH_7.json.
 bench-pressure: build
 	$(DUNE) exec bench/main.exe -- pressure
+
+# Closed PGO loop on destroy-ballast: profiled gen run -> derived policy
+# -> policy and adaptive re-runs, asserting byte-identical output/icount
+# and a >=30% cut in minor promotion; writes BENCH_8.json.
+bench-pgo: build
+	$(DUNE) exec bench/main.exe -- pgo
 
 clean:
 	$(DUNE) clean

@@ -1671,6 +1671,178 @@ let pressure_bench () =
   printf "wrote %s\n" out_path
 
 (* ------------------------------------------------------------------ *)
+(* PGO: the closed profile→policy loop (BENCH_8.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The profile-guided placement trajectory target: run destroy-ballast
+   under the generational collector with the allocation-site profiler on,
+   derive an mm-policy from the measured lifetimes (the same pipeline as
+   `policygen`), and re-run with the policy installed. Placement is a
+   pure runtime switch, so output and instruction count must be
+   byte-identical; the long-lived ballast now allocates straight into the
+   old generation, so total minor promotion (gc.minor_words sum) must
+   drop by at least 30%. The in-run adaptive mode must land the same
+   cut. The assertions fail the process (exit 1), so CI gates on them.
+
+     BENCH_PGO_ITERS      destroy iterations (default 400)
+     BENCH_PGO_BALLAST    ballast list length (default 15000)
+     BENCH_PGO_HEAP       words per semispace (default 100000)
+     BENCH_PGO_NURSERY    nursery words (default 4000 — small enough that
+                          building the ballast spans several minors, so
+                          the adaptive trigger fires while the long-lived
+                          population is still being allocated)
+     BENCH_PGO_OUT        output JSON path (default BENCH_8.json) *)
+
+let pgo () =
+  hr ();
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let iters = getenv_int "BENCH_PGO_ITERS" 400 in
+  let ballast = getenv_int "BENCH_PGO_BALLAST" 15000 in
+  let heap = getenv_int "BENCH_PGO_HEAP" 100000 in
+  let nursery = getenv_int "BENCH_PGO_NURSERY" 4000 in
+  let out_path = Option.value ~default:"BENCH_8.json" (Sys.getenv_opt "BENCH_PGO_OUT") in
+  printf "PGO: closed profile->policy loop on destroy-ballast (gen collector)\n\n";
+  let src =
+    Programs.Destroy_src.make_ballast ~ballast ~branch:4 ~depth:5 ~replace_depth:2
+      ~iterations:iters
+  in
+  let options =
+    { Driver.Compile.default_options with optimize = true; heap_words = heap }
+  in
+  let img = Driver.Compile.compile ~options src in
+  let sites = Driver.Compile.sites_for img in
+  (* One instrumented generational run; [placement] installs decision
+     codes, [adaptive] arms the in-run trigger, [profile] records
+     lifetimes. Returns the output, icount, and collector counters. *)
+  let instrumented ?placement ?adaptive ?profile () =
+    let result = ref None in
+    with_telemetry (fun () ->
+        let st = Vm.Interp.create img in
+        st.Vm.Interp.prof <- profile;
+        (match placement with
+        | Some codes -> Vm.Interp.set_placement st ~source:"file" codes
+        | None -> ());
+        (match adaptive with
+        | Some n -> st.Vm.Interp.adaptive_after <- n
+        | None -> ());
+        Gc.Nursery.install ~nursery_words:nursery st;
+        Vm.Interp.run st;
+        let c = T.Metrics.counter_value in
+        let sum name = (T.Metrics.histogram name).T.Metrics.h_sum in
+        result :=
+          Some
+            ( Vm.Interp.output st,
+              st.Vm.Interp.icount,
+              sum "gc.minor_words",
+              T.Json.Obj
+                [
+                  ("minor_collections", T.Json.Int (c "gc.minor_collections"));
+                  ("major_collections", T.Json.Int (c "gc.major_collections"));
+                  ("minor_words_total", T.Json.Float (sum "gc.minor_words"));
+                  ("words_copied_total", T.Json.Float (sum "gc.words_copied"));
+                  ("pretenured_words", T.Json.Int (c "gc.pretenured_words"));
+                  ("pool_words", T.Json.Int (c "gc.pool_words"));
+                  ("pretenure_sites", T.Json.Int (c "gc.pretenure_sites"));
+                  ("pool_sites", T.Json.Int (c "gc.pool_sites"));
+                  ("minor_pause_ns", hist_json "gc.minor_pause_ns");
+                  ("pause_ns", hist_json "gc.pause_ns");
+                ] ));
+    Option.get !result
+  in
+  (* Step 1: profiled baseline. The profiler measures; placement is off,
+     so this is also the no-policy reference for the identity checks. *)
+  let prof = Driver.Compile.profile_for img in
+  let base_out, base_icount, base_minor, base_snap = instrumented ~profile:prof () in
+  (* Step 2: derive the policy from the measured lifetimes. *)
+  let policy = Policy.derive_from_stats prof in
+  let codes, matched = Policy.decisions_for policy sites in
+  let placed = Array.length (Array.of_list (List.filter (fun c -> c <> Policy.nursery_code) (Array.to_list codes))) in
+  (* Step 3: the policy run, and the adaptive run that must converge. *)
+  let pol_out, pol_icount, pol_minor, pol_snap = instrumented ~placement:codes () in
+  let ad_prof = Driver.Compile.profile_for img in
+  let ad_out, ad_icount, ad_minor, ad_snap =
+    instrumented ~adaptive:2 ~profile:ad_prof ()
+  in
+  (* Wall-clock medians with telemetry off (placement is live either way). *)
+  let wall ?placement () =
+    median_wall (fun () ->
+        let st = Vm.Interp.create img in
+        (match placement with
+        | Some codes -> Vm.Interp.set_placement st ~source:"file" codes
+        | None -> ());
+        Gc.Nursery.install ~nursery_words:nursery st;
+        let t0 = Unix.gettimeofday () in
+        Vm.Interp.run st;
+        Unix.gettimeofday () -. t0)
+  in
+  let base_wall = wall () in
+  let pol_wall = wall ~placement:codes () in
+  let reduction = if base_minor > 0.0 then 1.0 -. (pol_minor /. base_minor) else 0.0 in
+  let ad_reduction = if base_minor > 0.0 then 1.0 -. (ad_minor /. base_minor) else 0.0 in
+  let failures = ref [] in
+  let assert_ what ok = if not ok then failures := what :: !failures in
+  assert_ "policy output identical" (pol_out = base_out);
+  assert_ "policy icount identical" (pol_icount = base_icount);
+  assert_ "adaptive output identical" (ad_out = base_out);
+  assert_ "adaptive icount identical" (ad_icount = base_icount);
+  assert_ "policy placed at least one site" (placed > 0);
+  assert_ "minor promotion cut by >= 30%" (reduction >= 0.30);
+  printf "sites        : %d static, %d in policy, %d placed off-nursery\n"
+    (Array.length sites) matched placed;
+  printf "minor words  : %.0f baseline -> %.0f policy (%.1f%% cut), %.0f adaptive (%.1f%% cut)\n"
+    base_minor pol_minor (100.0 *. reduction) ad_minor (100.0 *. ad_reduction);
+  printf "wall median  : %.1f ms baseline -> %.1f ms policy\n" (base_wall *. 1e3)
+    (pol_wall *. 1e3);
+  printf "identity     : output %s, icount %s\n"
+    (if pol_out = base_out && ad_out = base_out then "identical" else "!! DIFFERS")
+    (if pol_icount = base_icount && ad_icount = base_icount then "identical"
+     else "!! DIFFERS");
+  let doc =
+    T.Json.Obj
+      [
+        ("bench", T.Json.Str "pgo_placement");
+        ( "params",
+          T.Json.Obj
+            [
+              ("destroy_iterations", T.Json.Int iters);
+              ("ballast", T.Json.Int ballast);
+              ("heap_words", T.Json.Int heap);
+              ("optimize", T.Json.Bool true);
+              ("adaptive_after_minors", T.Json.Int 2);
+              ("nursery_words", T.Json.Int nursery);
+              ("warmup", T.Json.Int 1);
+              ("reps", T.Json.Int 5);
+            ] );
+        ("policy", Policy.to_json policy);
+        ("sites_matched", T.Json.Int matched);
+        ("sites_placed", T.Json.Int placed);
+        ("outputs_match", T.Json.Bool (pol_out = base_out && ad_out = base_out));
+        ( "icounts_match",
+          T.Json.Bool (pol_icount = base_icount && ad_icount = base_icount) );
+        ("minor_words_reduction", T.Json.Float reduction);
+        ("adaptive_minor_words_reduction", T.Json.Float ad_reduction);
+        ("wall_s_median_baseline", T.Json.Float base_wall);
+        ("wall_s_median_policy", T.Json.Float pol_wall);
+        ("baseline", base_snap);
+        ("with_policy", pol_snap);
+        ("adaptive", ad_snap);
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  printf "wrote %s\n" out_path;
+  if !failures <> [] then begin
+    List.iter (fun f -> printf "!! PGO ASSERTION FAILED: %s\n" f) !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1711,6 +1883,7 @@ let () =
           | "pauses" -> pauses ()
           | "copy" -> copy_bench ()
           | "pressure" -> pressure_bench ()
+          | "pgo" -> pgo ()
           | "baseline" -> baseline ()
           | "micro" -> micro ()
           | "all" -> all ()

@@ -45,7 +45,7 @@ let print_engine_stats ~engine ~elapsed_ns () =
       (if kinds = [] then "none" else String.concat ", " kinds)
   end
 
-let print_gc_stats () =
+let print_gc_stats ?placement () =
   let samples name = T.Metrics.samples (T.Metrics.histogram name) in
   let pauses = samples "gc.pause_ns" in
   let n = Array.length pauses in
@@ -112,7 +112,18 @@ let print_gc_stats () =
       (h "gc.major_words").T.Metrics.h_sum;
     Printf.eprintf "write barrier: %d executed, %d remembered-set inserts\n"
       (T.Metrics.counter_value "gc.barrier_execs")
-      (T.Metrics.counter_value "gc.remset_inserts")
+      (T.Metrics.counter_value "gc.remset_inserts");
+    (* Profile-guided placement: which sites bypassed the nursery and how
+       many words they kept out of the minor copy loop. *)
+    Printf.eprintf
+      "placement    : %s — %d pretenure sites (%d words), %d pool sites (%d words)\n"
+      (match placement with
+      | Some (src, _) -> "policy from " ^ src
+      | None -> "none")
+      (T.Metrics.counter_value "gc.pretenure_sites")
+      (T.Metrics.counter_value "gc.pretenured_words")
+      (T.Metrics.counter_value "gc.pool_sites")
+      (T.Metrics.counter_value "gc.pool_words")
   end;
   let elim_seen = T.Metrics.counter_value "barrier_elim.stores_seen" in
   if elim_seen > 0 then
@@ -170,7 +181,8 @@ let print_gc_stats () =
 
 let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collector
     gen nursery gc_workers no_barrier_elim no_threaded gc_stats trace metrics
-    no_decode_cache verify_heap verify_pre profile census_every fuel =
+    no_decode_cache verify_heap verify_pre profile census_every policy
+    pretenure_adaptive fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   (match gc_workers with Some n -> Gc.Gc_pool.set_workers n | None -> ());
   if no_threaded then Vm.Threaded.set_enabled false;
@@ -209,11 +221,14 @@ let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collec
           Profile.set_census_every p census_every;
           Some p
     in
+    let pol = Option.map Driver.Compile.policy_of_file policy in
     let t0 = T.Control.now_ns () in
     let r =
       Driver.Compile.run ~collector ?nursery_words:nursery ?profile:prof ~fuel
         ?heap_grow:(if heap_grow then Some true else None)
-        ?heap_max_words:heap_max image
+        ?heap_max_words:heap_max ?policy:pol
+        ?adaptive:(if pretenure_adaptive >= 1 then Some pretenure_adaptive else None)
+        image
     in
     let elapsed_ns = Int64.sub (T.Control.now_ns ()) t0 in
     print_string r.Driver.Compile.output;
@@ -229,7 +244,7 @@ let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collec
     | _ -> ());
     if gc_stats then begin
       print_engine_stats ~engine:r.Driver.Compile.engine ~elapsed_ns ();
-      print_gc_stats ()
+      print_gc_stats ?placement:r.Driver.Compile.placement ()
     end;
     if metrics then prerr_string (T.Metrics.to_text ());
     `Ok ()
@@ -255,6 +270,8 @@ let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collec
         "mmrun: corrupt gc table (proc %d, code offset %d, stream byte %d): %s\n%!"
         fid offset pos reason;
       exit (Vm.Vm_error.exit_code (Vm.Vm_error.Corrupt_table { fid; offset; reason }))
+  | Policy.Policy_error m -> `Error (false, Printf.sprintf "bad policy file: %s" m)
+  | T.Json.Parse_error m -> `Error (false, Printf.sprintf "bad policy file: %s" m)
   | Sys_error m -> `Error (false, m)
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -380,6 +397,27 @@ let profile =
            counts and survival rates (sites carry their m3l source location), \
            pause-time distributions, and any heap censuses. Off by default; \
            when off, execution is byte-identical to a build without profiling.")
+let policy =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "policy" ] ~docv:"FILE"
+        ~doc:
+          "Load an mm-policy placement file (see policygen): sites the policy \
+           marks pretenure or pool allocate directly in the old generation, \
+           bypassing the nursery. Matching is by stable (proc, line, col, \
+           type) key, so a policy survives recompilation. Pure runtime \
+           switch — gc tables and program output are byte-identical. Also \
+           set by MM_POLICY.")
+let pretenure_adaptive =
+  Arg.(
+    value & opt int 0
+    & info [ "pretenure-adaptive" ] ~docv:"N"
+        ~doc:
+          "Derive the placement policy in-run: profile site lifetimes for the \
+           first N minor collections, then classify every site with the same \
+           thresholds policygen uses and switch placement on. 0 disables. \
+           Generational mode only; ignored when --policy is given.")
 let census_every =
   Arg.(
     value & opt int 0
@@ -400,6 +438,6 @@ let cmd =
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ heap_grow
        $ heap_max $ stack $ collector $ gen $ nursery $ gc_workers $ no_barrier_elim
        $ no_threaded $ gc_stats $ trace $ metrics $ no_decode_cache $ verify_heap
-       $ verify_pre $ profile $ census_every $ fuel))
+       $ verify_pre $ profile $ census_every $ policy $ pretenure_adaptive $ fuel))
 
 let () = exit (Cmd.eval cmd)

@@ -80,24 +80,39 @@ type run_result = {
   collections : int;
   engine : string; (* "threaded" or "switch" *)
   gc : Vm.Interp.gc_stats;
+  placement : (string * int array) option;
+      (* (source, per-site decision codes) when placement was active *)
 }
 
-(** A fresh profiler for an image: the static site table converted to the
-    profiler's own site records (so [lib/profile] stays below the compiler
-    and VM in the dependency order). Attach it via [run ~profile]. *)
-let profile_for (image : Vm.Image.t) : Profile.t =
-  Profile.create
-    (Array.map
-       (fun (s : Mir.Ir.alloc_site) ->
-         {
-           Profile.s_id = s.Mir.Ir.as_id;
-           s_proc = s.Mir.Ir.as_proc;
-           s_line = s.Mir.Ir.as_line;
-           s_col = s.Mir.Ir.as_col;
-           s_tdesc = s.Mir.Ir.as_tdesc;
-           s_open = s.Mir.Ir.as_open;
-         })
-       image.Vm.Image.alloc_sites)
+(** An image's static site table converted to the profiler's own site
+    records (so [lib/profile] stays below the compiler and VM in the
+    dependency order). Shared by the profiler and the policy mapper, so a
+    policy keys against exactly the sites a profile of the same image
+    would report. *)
+let sites_for (image : Vm.Image.t) : Profile.site array =
+  Array.map
+    (fun (s : Mir.Ir.alloc_site) ->
+      {
+        Profile.s_id = s.Mir.Ir.as_id;
+        s_proc = s.Mir.Ir.as_proc;
+        s_line = s.Mir.Ir.as_line;
+        s_col = s.Mir.Ir.as_col;
+        s_tdesc = s.Mir.Ir.as_tdesc;
+        s_open = s.Mir.Ir.as_open;
+      })
+    image.Vm.Image.alloc_sites
+
+(** A fresh profiler for an image. Attach it via [run ~profile]. *)
+let profile_for (image : Vm.Image.t) : Profile.t = Profile.create (sites_for image)
+
+(** Parse an [mm-policy] file. @raise Policy.Policy_error on schema
+    mismatch, [Sys_error] on I/O failure. *)
+let policy_of_file path : Policy.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Policy.of_json (Telemetry.Json.parse s)
 
 (* Adaptive-heap switches shared by every entry point. [MM_HEAP_GROW]
    enables growth, [MM_HEAP_MAX] sets the semispace cap in words (growth
@@ -145,7 +160,7 @@ let arm_heap_policy ?heap_grow ?heap_max_words ~(collector : collector) st =
   | None -> ()
 
 let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
-    ?heap_grow ?heap_max_words (image : Vm.Image.t) : run_result =
+    ?heap_grow ?heap_max_words ?policy ?adaptive (image : Vm.Image.t) : run_result =
   (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
      live pointers in forms the tables cannot describe; collecting while it
      runs can corrupt the heap. Warn whenever such output is executed under
@@ -155,7 +170,30 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
       "executing --no-gc-restrict output with a collector installed: code is \
        not gc-safe by construction; a collection may corrupt the heap";
   let st = Vm.Interp.create image in
+  (* Adaptive pretenuring derives its decisions from live lifetime stats,
+     so it needs a profiler attached even when the caller asked for none. *)
+  let profile =
+    match (profile, adaptive) with
+    | None, Some _ -> Some (profile_for image)
+    | p, _ -> p
+  in
   st.Vm.Interp.prof <- profile;
+  (* Placement policy: an explicit [?policy] wins; otherwise MM_POLICY
+     names an mm-policy file to load. A loaded policy is mapped onto this
+     image's site table by stable (proc, line, col, tdesc) key. *)
+  let policy =
+    match policy with
+    | Some _ as p -> p
+    | None -> Option.map policy_of_file (Sys.getenv_opt "MM_POLICY")
+  in
+  (match policy with
+  | Some p ->
+      let codes, _matched = Policy.decisions_for p (sites_for image) in
+      Vm.Interp.set_placement st ~source:"file" codes
+  | None -> (
+      match adaptive with
+      | Some n when n >= 1 -> st.Vm.Interp.adaptive_after <- n
+      | _ -> ()));
   arm_heap_policy ?heap_grow ?heap_max_words ~collector st;
   let nursery_words =
     match nursery_words with
@@ -185,10 +223,11 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
     collections = st.Vm.Interp.gc.Vm.Interp.collections;
     engine = (if threaded then "threaded" else "switch");
     gc = st.Vm.Interp.gc;
+    placement = Vm.Interp.placement_info st;
   }
 
 (** Compile and run in one step (tests and examples). *)
 let run_source ?(options = default_options) ?collector ?nursery_words ?profile ?fuel
-    ?heap_grow ?heap_max_words source =
-  run ?collector ?nursery_words ?profile ?fuel ?heap_grow ?heap_max_words
-    (compile ~options source)
+    ?heap_grow ?heap_max_words ?policy ?adaptive source =
+  run ?collector ?nursery_words ?profile ?fuel ?heap_grow ?heap_max_words ?policy
+    ?adaptive (compile ~options source)

@@ -108,6 +108,16 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   List.iter
     (fun addr -> ignore (Cheney.scan_object c addr))
     g.Vm.Interp.big_objects;
+  (* Pool regions: dense runs of policy-pooled objects, scanned wholesale
+     for exactly the reason the pretenured big objects are — a statically
+     elided write barrier may have stored a nursery pointer into them. *)
+  List.iter
+    (fun (lo, hi) ->
+      let a = ref lo in
+      while !a < hi do
+        a := Cheney.scan_object c !a
+      done)
+    (Vm.Interp.pool_filled_ranges st);
   let t_roots1 = now_ns () in
   T.Trace.end_span ();
   (* Cheney scan of the promotion region. *)
@@ -162,7 +172,18 @@ let minor (st : Vm.Interp.t) (g : Vm.Interp.gen_state) =
   (match st.Vm.Interp.prof with
   | Some p ->
       Profile.end_collection p ~src_lo:c.Cheney.src_lo ~src_hi:c.Cheney.src_hi;
-      if Profile.census_due p then Census.take st p
+      if Profile.census_due p then Census.take st p;
+      (* Online adaptive placement: once the configured number of minor
+         collections has fed the side table, derive the same decisions the
+         offline profile→policy pipeline would (same classifier, same
+         thresholds) and install them for the rest of the run. *)
+      if
+        st.Vm.Interp.adaptive_after > 0
+        && st.Vm.Interp.placement = None
+        && p.Profile.minor_collections >= st.Vm.Interp.adaptive_after
+      then
+        Vm.Interp.set_placement st ~source:"adaptive"
+          (Policy.decision_codes_from_stats p)
   | None -> ());
   match derived_snap with
   | Some snap -> ignore (Verify.check st ~phase:"minor-post" ~frames ~derived:snap ())
@@ -187,7 +208,11 @@ let collect (st : Vm.Interp.t) ~needed =
   | Some g ->
       let used = g.Vm.Interp.nursery_alloc - g.Vm.Interp.nursery_base in
       let headroom = g.Vm.Interp.nursery_base - g.Vm.Interp.old_alloc in
-      if needed > g.Vm.Interp.nursery_cap then Cheney.collect st ~needed
+      (* An old-generation request (big object, policy pretenure, pool
+         chunk) can only be helped by a full compaction: a minor promotes
+         into the very region that is short of room. *)
+      if g.Vm.Interp.old_request || needed > g.Vm.Interp.nursery_cap then
+        Cheney.collect st ~needed
       else if headroom < used then emergency st ~needed
       else begin
         minor st g;

@@ -204,7 +204,19 @@ let walk_heap c =
           c.walk_ok <- false
         end
         else begin
-          walk_region c lo old_hi;
+          (* Pool chunks leave object-free gaps (unfilled chunk tails)
+             inside the old generation; the linear parse must step over
+             them. The gap list is sorted and every gap lies within
+             [from_base, old_alloc). *)
+          let lo_ref = ref lo in
+          List.iter
+            (fun (glo, ghi) ->
+              if c.walk_ok && glo <= old_hi then begin
+                walk_region c !lo_ref (min glo old_hi);
+                lo_ref := ghi
+              end)
+            (Vm.Interp.pool_gaps st);
+          if c.walk_ok && !lo_ref < old_hi then walk_region c !lo_ref old_hi;
           if c.walk_ok then walk_region c nb na
         end
 
@@ -249,13 +261,24 @@ let check_old_young c =
         let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
         let big = Hashtbl.create 16 in
         List.iter (fun a -> Hashtbl.replace big a ()) g.Vm.Interp.big_objects;
+        (* Pool-resident objects are wholesale-scanned at every minor, so
+           (like the pretenured big objects) their slots need no remembered
+           set entry. *)
+        let pool_ranges = Vm.Interp.pool_filled_ranges c.st in
+        let in_pool owner =
+          List.exists (fun (lo, hi) -> owner >= lo && owner < hi) pool_ranges
+        in
         let check_slot owner a =
           let v = mem.{a} in
-          if in_nursery c.st v && (not (Remset.mem c.st g a)) && not (Hashtbl.mem big owner)
+          if
+            in_nursery c.st v
+            && (not (Remset.mem c.st g a))
+            && (not (Hashtbl.mem big owner))
+            && not (in_pool owner)
           then
             violate c
               "old-generation word %d holds nursery pointer %d but is neither remembered \
-               nor inside a pretenured object"
+               nor inside a pretenured or pooled object"
               a v
         in
         Hashtbl.iter

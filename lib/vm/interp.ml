@@ -21,6 +21,12 @@ let c_instructions = Telemetry.Metrics.counter "vm.instructions"
 let c_barriers = Telemetry.Metrics.counter "gc.barrier_execs"
 let c_remset_inserts = Telemetry.Metrics.counter "gc.remset_inserts"
 
+(* Profile-guided placement accounting (read by mmrun --gc-stats). *)
+let c_pretenured_words = Telemetry.Metrics.counter "gc.pretenured_words"
+let c_pool_words = Telemetry.Metrics.counter "gc.pool_words"
+let c_pretenure_sites = Telemetry.Metrics.counter "gc.pretenure_sites"
+let c_pool_sites = Telemetry.Metrics.counter "gc.pool_sites"
+
 (* The Gc_pressure telemetry group: adaptive-heap events. *)
 let c_resizes = Telemetry.Metrics.counter "gc_pressure.resizes"
 let c_grow_words = Telemetry.Metrics.counter "gc_pressure.grow_words"
@@ -65,6 +71,41 @@ type gen_state = {
        barrier elimination sound for them *)
   mutable barrier_execs : int;
   mutable remset_inserts : int;
+  mutable old_request : bool;
+    (* an old-generation allocation (policy pretenure, pool chunk, big
+       object) is asking the collector for headroom: a minor collection
+       promotes {e into} the old generation, so only a full collection can
+       help — the collector routes on this flag *)
+}
+
+(** Per-site pool state: a bump region (chunk) carved out of the old
+    generation, so a linked structure grown from one allocation site ends
+    up contiguous. When a chunk fills, its unfilled tail is abandoned as a
+    {e gap} (skipped by the linear heap walkers; see {!pool_gaps}) and a
+    fresh chunk is carved. A full collection compacts pool objects like
+    any other old-generation survivors, dissolving chunks and gaps alike
+    ({!gen_reset_after_full} resets every pool). *)
+type pool_state = {
+  mutable pl_chunk : int; (* current chunk base address; -1 = none *)
+  mutable pl_alloc : int; (* bump pointer inside the current chunk *)
+  mutable pl_limit : int; (* current chunk limit *)
+  mutable pl_closed : (int * int * int) list;
+      (* retired chunks as (lo, filled_hi, limit): objects fill
+         [lo, filled_hi), the tail [filled_hi, limit) is a gap *)
+}
+
+(** Profile-guided placement, installed by the driver (from an [mm-policy]
+    file) or derived in-run by the adaptive mode. The decision array is
+    consulted on the allocation fast path — one bounds-checked load per
+    allocation, no allocation of its own. *)
+type placement = {
+  pc_decisions : int array; (* site id -> 0 nursery / 1 pretenure / 2 pool *)
+  pc_pools : pool_state array; (* parallel to [pc_decisions] *)
+  pc_source : string; (* "file" | "adaptive" *)
+  mutable pc_pretenured_objects : int;
+  mutable pc_pretenured_words : int;
+  mutable pc_pool_objects : int;
+  mutable pc_pool_words : int;
 }
 
 type t = {
@@ -95,6 +136,10 @@ type t = {
                                            non-moving conservative collector *)
   mutable collector : (t -> needed:int -> unit) option;
   mutable gen : gen_state option; (* Some iff running generationally *)
+  mutable placement : placement option; (* profile-guided placement, if any *)
+  mutable adaptive_after : int;
+    (* derive a placement in-run from the attached profiler once this many
+       minor collections have completed; 0 = off *)
   mutable on_alloc : (int -> int -> unit) option; (* (address, size) hook *)
   mutable prof : Profile.t option; (* allocation-site profiler, if attached *)
   mutable gc_check_forces : bool; (* Rt_gc_check triggers a collection *)
@@ -125,6 +170,8 @@ let create (image : Image.t) : t =
     free_list = [];
     collector = None;
     gen = None;
+    placement = None;
+    adaptive_after = 0;
     on_alloc = None;
     prof = None;
     gc_check_forces = false;
@@ -326,6 +373,7 @@ let gen_init t ~nursery_words =
       big_objects = [];
       barrier_execs = 0;
       remset_inserts = 0;
+      old_request = false;
     }
   in
   t.gen <- Some g;
@@ -355,7 +403,51 @@ let gen_reset_after_full t =
           Bytes.set g.dirty (g.remset.(i) - hb) '\000'
         done;
       g.remset_len <- 0;
-      g.big_objects <- []
+      g.big_objects <- [];
+      (* The compaction dissolved every pool chunk (pool objects moved like
+         any other survivors), so the pools restart empty — the next pool
+         allocation carves a fresh chunk from the new old generation. *)
+      (match t.placement with
+      | Some pl ->
+          Array.iter
+            (fun ps ->
+              ps.pl_chunk <- -1;
+              ps.pl_alloc <- 0;
+              ps.pl_limit <- 0;
+              ps.pl_closed <- [])
+            pl.pc_pools
+      | None -> ())
+
+(** Allocate [size] words directly on the old-generation frontier — the
+    shared slow path of big-object pretenuring, policy pretenuring and
+    pool-chunk carving. A minor collection promotes {e into} the old
+    generation and so can never create headroom here; [old_request] routes
+    the installed collector straight to a full collection. *)
+let allocate_old t (g : gen_state) size =
+  if g.nursery_base - g.old_alloc < size then begin
+    g.old_request <- true;
+    (match t.collector with Some collect -> collect t ~needed:size | None -> ());
+    g.old_request <- false
+  end;
+  (* When the nursery is empty (always true right after a full
+     collection) an oversized object may displace it, so exhaustion
+     strikes exactly when the non-generational collector would run out. *)
+  let room =
+    if g.nursery_alloc = g.nursery_base then gen_nursery_limit t - g.old_alloc
+    else g.nursery_base - g.old_alloc
+  in
+  if room < size then
+    Vm_error.(error (Heap_exhausted { needed = size; free = room }));
+  let a = g.old_alloc in
+  g.old_alloc <- a + size;
+  if g.old_alloc > g.nursery_base then begin
+    g.nursery_base <- g.old_alloc;
+    g.nursery_alloc <- g.old_alloc
+  end;
+  (* [alloc] mirrors the old-generation frontier in generational mode so
+     region-based consumers (the verifier, stats) see one truth. *)
+  t.alloc <- g.old_alloc;
+  a
 
 let allocate_gen t (g : gen_state) size =
   if size <= g.nursery_cap then begin
@@ -371,27 +463,8 @@ let allocate_gen t (g : gen_state) size =
     (* Pretenure: the object can never fit the nursery, so it goes straight
        to the old generation and onto [big_objects] for wholesale scanning
        at minor collections. *)
-    if g.nursery_base - g.old_alloc < size then
-      (match t.collector with Some collect -> collect t ~needed:size | None -> ());
-    (* When the nursery is empty (always true right after a full
-       collection) an oversized object may displace it, so exhaustion
-       strikes exactly when the non-generational collector would run out. *)
-    let room =
-      if g.nursery_alloc = g.nursery_base then gen_nursery_limit t - g.old_alloc
-      else g.nursery_base - g.old_alloc
-    in
-    if room < size then
-      Vm_error.(error (Heap_exhausted { needed = size; free = room }));
-    let a = g.old_alloc in
-    g.old_alloc <- a + size;
-    if g.old_alloc > g.nursery_base then begin
-      g.nursery_base <- g.old_alloc;
-      g.nursery_alloc <- g.old_alloc
-    end;
+    let a = allocate_old t g size in
     g.big_objects <- a :: g.big_objects;
-    (* [alloc] mirrors the old-generation frontier in generational mode so
-       region-based consumers (the verifier, stats) see one truth. *)
-    t.alloc <- g.old_alloc;
     a
   end
 
@@ -469,10 +542,133 @@ let allocate t size =
   then (match t.collector with Some c -> c t ~needed:size | None -> ());
   match t.gen with Some g -> allocate_gen t g size | None -> allocate_flat t size
 
+(* --- profile-guided placement --------------------------------------- *)
+
+(** Install a per-site placement (decision codes: 0 nursery, 1 pretenure,
+    2 pool). Purely a runtime switch: the image, its gc tables and the
+    instruction stream are untouched, so program output and instruction
+    counts are byte-identical with or without a placement. *)
+let set_placement t ~source (decisions : int array) =
+  let count code =
+    Array.fold_left (fun n d -> if d = code then n + 1 else n) 0 decisions
+  in
+  Telemetry.Metrics.incr ~by:(count 1) c_pretenure_sites;
+  Telemetry.Metrics.incr ~by:(count 2) c_pool_sites;
+  t.placement <-
+    Some
+      {
+        pc_decisions = decisions;
+        pc_pools =
+          Array.map
+            (fun _ -> { pl_chunk = -1; pl_alloc = 0; pl_limit = 0; pl_closed = [] })
+            decisions;
+        pc_source = source;
+        pc_pretenured_objects = 0;
+        pc_pretenured_words = 0;
+        pc_pool_objects = 0;
+        pc_pool_words = 0;
+      }
+
+(** Source and decision array of the installed placement, if any. *)
+let placement_info t =
+  match t.placement with
+  | None -> None
+  | Some pl -> Some (pl.pc_source, pl.pc_decisions)
+
+(* A pretenured object is exactly a policy-chosen big object: old
+   generation placement plus [big_objects] registration, so every minor
+   collection scans its fields wholesale — which keeps static barrier
+   elimination sound for it (an elided barrier's store happens between the
+   object's allocation and the next gc-point, while it is on the list). *)
+let alloc_pretenured t (g : gen_state) (pl : placement) size =
+  let a = allocate_old t g size in
+  g.big_objects <- a :: g.big_objects;
+  pl.pc_pretenured_objects <- pl.pc_pretenured_objects + 1;
+  pl.pc_pretenured_words <- pl.pc_pretenured_words + size;
+  Telemetry.Metrics.incr ~by:size c_pretenured_words;
+  a
+
+let pool_chunk_words = 256
+
+let alloc_pool t (g : gen_state) (pl : placement) (ps : pool_state) size =
+  if ps.pl_chunk < 0 || ps.pl_alloc + size > ps.pl_limit then begin
+    (* Retire the current chunk — its unfilled tail becomes a gap until
+       the next full collection — and carve a new one. The carve may run
+       a full collection, which resets every pool through
+       [gen_reset_after_full]; the fields are only written afterwards. *)
+    if ps.pl_chunk >= 0 then
+      ps.pl_closed <- (ps.pl_chunk, ps.pl_alloc, ps.pl_limit) :: ps.pl_closed;
+    let words = max pool_chunk_words size in
+    let a = allocate_old t g words in
+    Mem.fill t.mem a words 0;
+    ps.pl_chunk <- a;
+    ps.pl_alloc <- a;
+    ps.pl_limit <- a + words
+  end;
+  let a = ps.pl_alloc in
+  ps.pl_alloc <- a + size;
+  pl.pc_pool_objects <- pl.pc_pool_objects + 1;
+  pl.pc_pool_words <- pl.pc_pool_words + size;
+  Telemetry.Metrics.incr ~by:size c_pool_words;
+  a
+
+(* The placement consult on the allocation path: one array load when a
+   placement is installed, nothing otherwise. Placement is meaningful only
+   in generational mode (flat mode has no nursery to steer away from), and
+   oversized objects take the existing big-object path whatever the policy
+   says. *)
+let allocate_placed t site size =
+  match (t.gen, t.placement) with
+  | Some g, Some pl
+    when site >= 0 && site < Array.length pl.pc_decisions && size <= g.nursery_cap
+    -> (
+      match Array.unsafe_get pl.pc_decisions site with
+      | 1 -> alloc_pretenured t g pl size
+      | 2 -> alloc_pool t g pl pl.pc_pools.(site) size
+      | _ -> allocate t size)
+  | _ -> allocate t size
+
+(** Unfilled pool-chunk tails as [gap_lo, gap_hi) ranges, ascending. They
+    lie inside the old generation but hold no objects; the linear heap
+    walkers (the verifier's region parse, the census) must skip them. *)
+let pool_gaps t =
+  match t.placement with
+  | None -> []
+  | Some pl ->
+      let acc = ref [] in
+      Array.iter
+        (fun ps ->
+          if ps.pl_chunk >= 0 && ps.pl_alloc < ps.pl_limit then
+            acc := (ps.pl_alloc, ps.pl_limit) :: !acc;
+          List.iter
+            (fun (_, hi, limit) -> if hi < limit then acc := (hi, limit) :: !acc)
+            ps.pl_closed)
+        pl.pc_pools;
+      List.sort compare !acc
+
+(** Filled pool ranges, each a dense run of valid pool-allocated objects.
+    Minor collections scan them wholesale (exactly like [big_objects]), so
+    elided write barriers stay sound for pool-resident objects and their
+    nursery referents survive minors. *)
+let pool_filled_ranges t =
+  match t.placement with
+  | None -> []
+  | Some pl ->
+      let acc = ref [] in
+      Array.iter
+        (fun ps ->
+          if ps.pl_chunk >= 0 && ps.pl_alloc > ps.pl_chunk then
+            acc := (ps.pl_chunk, ps.pl_alloc) :: !acc;
+          List.iter
+            (fun (lo, hi, _) -> if hi > lo then acc := (lo, hi) :: !acc)
+            ps.pl_closed)
+        pl.pc_pools;
+      !acc
+
 let rt_alloc t ?(site = -1) tdid ~length =
   let lay = t.image.Image.layouts.(tdid) in
   let size = Rt.Typedesc.layout_words lay ~length in
-  let a = allocate t size in
+  let a = allocate_placed t site size in
   (* Zero the data words only; the header word(s) are written directly. *)
   (match lay with
   | Rt.Typedesc.Lopen _ ->

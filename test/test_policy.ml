@@ -1,0 +1,340 @@
+(* Profile-guided placement tests.
+
+   Placement is a pure runtime switch: every configuration — no policy,
+   pretenure-all, pool-all, a policy derived from a real profile, and the
+   in-run adaptive mode — must produce byte-identical output and
+   instruction counts on both engines and both precise collectors, under
+   the post-collection heap verifier. A profile-derived policy must also
+   never increase the total words the collectors copy (that is the whole
+   point). The boundary units pin the nursery-capacity cutoff between the
+   placed path and the big-object path, and the mutation unit pins the
+   old→young edge created by storing a nursery pointer into a pretenured
+   object. The mm-policy serialization round-trips under qcheck. *)
+
+module T = Telemetry
+module C = Driver.Compile
+
+let check = Alcotest.check
+
+let fresh f () =
+  T.Metrics.reset ();
+  T.Trace.clear ();
+  T.Control.enable ();
+  Fun.protect ~finally:T.Control.disable f
+
+(* Every run in this file executes under the post-collection verifier. *)
+let verified f =
+  Gc.Verify.set_post true;
+  Fun.protect ~finally:(fun () -> Gc.Verify.set_post false) f
+
+let compile ~heap src =
+  C.compile ~options:{ C.default_options with heap_words = heap } src
+
+(* Run [img] under an explicit engine, bypassing MM_THREADED. *)
+let run_with ?policy ?adaptive ?profile ?(nursery = 512) ~threaded ~gen img =
+  let was = Vm.Threaded.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Vm.Threaded.set_enabled was)
+    (fun () ->
+      Vm.Threaded.set_enabled threaded;
+      C.run
+        ~collector:(if gen then C.Generational else C.Precise)
+        ~nursery_words:nursery ?policy ?adaptive ?profile img)
+
+(* ------------------------------------------------------------------ *)
+(* mm-policy JSON round-trip                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_policy =
+  let open QCheck.Gen in
+  let ident = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+  let entry =
+    ident >>= fun proc ->
+    int_range 1 999 >>= fun line ->
+    int_range 0 80 >>= fun col ->
+    int_range 0 50 >>= fun tdesc ->
+    bool >>= fun open_ ->
+    oneofl [ Policy.Nursery; Policy.Pretenure; Policy.Pool ] >>= fun d ->
+    float_range 0.0 1.0 >>= fun rate ->
+    int_range 0 100_000 >>= fun samples ->
+    int_range 0 100_000 >>= fun allocs ->
+    return
+      {
+        Policy.e_proc = proc;
+        e_line = line;
+        e_col = col;
+        e_tdesc = tdesc;
+        e_open = open_;
+        e_decision = d;
+        e_rate = rate;
+        e_samples = samples;
+        e_allocs = allocs;
+      }
+  in
+  float_range 0.0 1.0 >>= fun pr ->
+  int_range 0 1000 >>= fun msw ->
+  int_range 0 1000 >>= fun pma ->
+  list_size (int_range 0 20) entry >>= fun entries ->
+  return
+    {
+      Policy.thresholds =
+        { Policy.pretenure_rate = pr; min_sample_words = msw; pool_min_allocs = pma };
+      entries;
+    }
+
+let test_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"mm-policy JSON round-trip"
+    (QCheck.make gen_policy) (fun p ->
+      let text = T.Json.to_string (Policy.to_json p) in
+      Policy.of_json (T.Json.parse text) = p)
+
+let test_bad_documents () =
+  let rejects doc =
+    match Policy.of_json (T.Json.parse doc) with
+    | exception Policy.Policy_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "wrong schema rejected" true
+    (rejects {|{"schema":"mm-profile","version":1,"sites":[]}|});
+  check Alcotest.bool "wrong version rejected" true
+    (rejects {|{"schema":"mm-policy","version":99,"sites":[]}|});
+  check Alcotest.bool "missing sites rejected" true
+    (rejects {|{"schema":"mm-policy","version":1}|});
+  check Alcotest.bool "bad decision rejected" true
+    (rejects
+       {|{"schema":"mm-policy","version":1,"sites":[{"proc":"P","line":1,"col":1,"tdesc":0,"decision":"eden"}]}|})
+
+(* ------------------------------------------------------------------ *)
+(* Classifier                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify () =
+  let th = Policy.default_thresholds in
+  let c = Policy.classify th in
+  check Alcotest.bool "under-sampled site stays in the nursery" true
+    (c ~allocs:1000 ~survived_words:63 ~dead_words:0 = Policy.Nursery);
+  check Alcotest.bool "low survival stays in the nursery" true
+    (c ~allocs:1000 ~survived_words:50 ~dead_words:950 = Policy.Nursery);
+  check Alcotest.bool "high survival, few allocs pretenures" true
+    (c ~allocs:10 ~survived_words:900 ~dead_words:100 = Policy.Pretenure);
+  check Alcotest.bool "high survival, many allocs pools" true
+    (c ~allocs:1000 ~survived_words:900 ~dead_words:100 = Policy.Pool);
+  check Alcotest.bool "exactly at the rate floor leaves the nursery" true
+    (c ~allocs:10 ~survived_words:80 ~dead_words:20 = Policy.Pretenure)
+
+(* ------------------------------------------------------------------ *)
+(* Nursery-capacity boundary                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* An open INTEGER array of W words occupies header + W heap words; with
+   the header that is exactly the nursery capacity at W = cap - header,
+   one word over it at W = cap - header + 1. At or under the capacity a
+   pretenure policy routes the object through the placed path (counted in
+   gc.pretenured_words); over it the ordinary big-object path takes over
+   and the placement counters must not move. *)
+let edge_src words =
+  Printf.sprintf
+    {|MODULE Edge;
+TYPE Ints = REF ARRAY OF INTEGER;
+VAR a, b: Ints; i, sum: INTEGER;
+BEGIN
+  a := NEW(Ints, %d);
+  a[%d] := 42;
+  sum := 0;
+  FOR i := 1 TO 400 DO
+    b := NEW(Ints, 8);
+    b[0] := i;
+    sum := sum + b[0]
+  END;
+  PutInt(a[%d]); PutText(" "); PutInt(sum); PutLn()
+END Edge.|}
+    words (words - 1) (words - 1)
+
+let test_boundary () =
+  verified (fun () ->
+      let nursery = 400 in
+      let cap_words = nursery - Rt.Typedesc.open_header_words in
+      List.iter
+        (fun (label, words, expect_pretenured) ->
+          T.Metrics.reset ();
+          let img = compile ~heap:8192 (edge_src words) in
+          let policy = Policy.uniform Policy.Pretenure (C.sites_for img) in
+          let r = run_with ~policy ~nursery ~threaded:false ~gen:true img in
+          let base = run_with ~nursery ~threaded:false ~gen:true img in
+          check Alcotest.string (label ^ ": output matches no-policy run")
+            base.C.output r.C.output;
+          check Alcotest.int (label ^ ": icount matches no-policy run")
+            base.C.instructions r.C.instructions;
+          (* The 400 churn arrays (10 words each) are pretenured under the
+             pretenure-all policy in both cases; the boundary object's own
+             words land in the counter only when it fits the capacity. *)
+          let churn_words = 400 * (8 + Rt.Typedesc.open_header_words) in
+          check Alcotest.int
+            (label
+            ^
+            if expect_pretenured then ": boundary object itself was pretenured"
+            else ": over-capacity object not placement-counted")
+            (if expect_pretenured then churn_words + nursery else churn_words)
+            (T.Metrics.counter_value "gc.pretenured_words"))
+        [
+          ("exactly nursery-sized", cap_words, true);
+          ("nursery-sized + 1", cap_words + 1, false);
+        ])
+
+(* A pretenured object mutated to point at a nursery object: the nursery
+   referent must survive every minor collection (the pretenured object is
+   wholesale-scanned until the next full collection, covering even
+   stores whose write barrier the compiler elided), and the verifier's
+   old→young check must accept the un-remembered edge. *)
+let mutation_src =
+  {|MODULE Mut;
+TYPE Node = RECORD v: INTEGER; next: Ref END; Ref = REF Node;
+VAR a, t: Ref; i, sum: INTEGER;
+BEGIN
+  a := NEW(Ref);
+  a.v := 7;
+  a.next := NIL;
+  sum := 0;
+  FOR i := 1 TO 2000 DO
+    t := NEW(Ref);
+    t.v := i;
+    a.next := t;
+    sum := sum + a.next.v
+  END;
+  PutInt(a.v); PutText(" "); PutInt(a.next.v); PutText(" "); PutInt(sum); PutLn()
+END Mut.|}
+
+let test_pretenured_mutation () =
+  verified (fun () ->
+      let img = compile ~heap:4096 mutation_src in
+      let policy = Policy.uniform Policy.Pretenure (C.sites_for img) in
+      let base = run_with ~nursery:400 ~threaded:false ~gen:true img in
+      check Alcotest.bool "minors happened" true (base.C.gc.Vm.Interp.minor_collections > 0);
+      List.iter
+        (fun threaded ->
+          let r = run_with ~policy ~nursery:400 ~threaded ~gen:true img in
+          let label = if threaded then "threaded" else "switch" in
+          check Alcotest.string (label ^ ": output survives the mutated edge")
+            base.C.output r.C.output;
+          check Alcotest.int (label ^ ": icount unchanged") base.C.instructions
+            r.C.instructions)
+        [ false; true ])
+
+(* ------------------------------------------------------------------ *)
+(* Differential suite                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let destroy_small =
+  Programs.Destroy_src.make ~branch:3 ~depth:4 ~replace_depth:2 ~iterations:200
+
+let destroy_ballast =
+  Programs.Destroy_src.make_ballast ~ballast:300 ~branch:3 ~depth:4 ~replace_depth:2
+    ~iterations:150
+
+(* Derive a policy from a real profiled run of [img] (generational, so
+   the lifetime stats are populated by minor collections). *)
+let derived_policy img =
+  let p = C.profile_for img in
+  ignore (run_with ~profile:p ~threaded:false ~gen:true img);
+  Policy.derive_from_stats p
+
+let test_differential () =
+  verified (fun () ->
+      List.iter
+        (fun (name, src) ->
+          let img = compile ~heap:8192 src in
+          let derived = derived_policy img in
+          let uniform d = Policy.uniform d (C.sites_for img) in
+          List.iter
+            (fun threaded ->
+              List.iter
+                (fun gen ->
+                  let label cfg =
+                    Printf.sprintf "%s/%s/%s/%s" name
+                      (if threaded then "threaded" else "switch")
+                      (if gen then "gen" else "flat")
+                      cfg
+                  in
+                  let base = run_with ~threaded ~gen img in
+                  let same cfg (r : C.run_result) =
+                    check Alcotest.string (label cfg ^ ": output") base.C.output
+                      r.C.output;
+                    check Alcotest.int (label cfg ^ ": icount") base.C.instructions
+                      r.C.instructions
+                  in
+                  same "pretenure-all"
+                    (run_with ~policy:(uniform Policy.Pretenure) ~threaded ~gen img);
+                  same "pool-all"
+                    (run_with ~policy:(uniform Policy.Pool) ~threaded ~gen img);
+                  let d = run_with ~policy:derived ~threaded ~gen img in
+                  same "derived" d;
+                  if gen then
+                    check Alcotest.bool
+                      (label "derived" ^ ": no more words copied than baseline")
+                      true
+                      (d.C.gc.Vm.Interp.words_copied
+                      <= base.C.gc.Vm.Interp.words_copied);
+                  same "adaptive" (run_with ~adaptive:8 ~threaded ~gen img))
+                [ false; true ])
+            [ false; true ])
+        [ ("destroy", destroy_small); ("destroy-ballast", destroy_ballast) ])
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive convergence                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The in-run adaptive mode and the offline profile→policygen pipeline
+   share one classifier, so on a workload whose per-site lifetime ratios
+   are stable (ballast: 100% survival; tree churn: far below the rate
+   floor) the adaptive decisions must equal the decisions a policy
+   derived from a full profiled run maps back onto the same image. *)
+let test_adaptive_convergence () =
+  verified (fun () ->
+      let img = compile ~heap:8192 destroy_ballast in
+      let p = C.profile_for img in
+      ignore (run_with ~profile:p ~threaded:false ~gen:true img);
+      let offline = Policy.decision_codes_from_stats p in
+      let via_file, matched =
+        Policy.decisions_for (Policy.derive_from_stats p) (C.sites_for img)
+      in
+      check Alcotest.int "file policy matches every site" (Array.length offline) matched;
+      check
+        Alcotest.(list int)
+        "stats path and file path agree" (Array.to_list offline)
+        (Array.to_list via_file);
+      let r = run_with ~adaptive:8 ~threaded:false ~gen:true img in
+      match r.C.placement with
+      | None -> Alcotest.fail "adaptive run produced no placement"
+      | Some (src, codes) ->
+          check Alcotest.string "placement source" "adaptive" src;
+          check
+            Alcotest.(list int)
+            "adaptive decisions converge on the offline policy"
+            (Array.to_list offline) (Array.to_list codes);
+          check Alcotest.bool "adaptive actually placed something" true
+            (Array.exists (fun c -> c <> Policy.nursery_code) codes))
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "serialization",
+        [
+          QCheck_alcotest.to_alcotest test_roundtrip;
+          Alcotest.test_case "bad documents" `Quick (fresh test_bad_documents);
+        ] );
+      ("classifier", [ Alcotest.test_case "thresholds" `Quick (fresh test_classify) ]);
+      ( "placement",
+        [
+          Alcotest.test_case "nursery-capacity boundary" `Quick (fresh test_boundary);
+          Alcotest.test_case "pretenured object points at nursery" `Quick
+            (fresh test_pretenured_mutation);
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "all configs byte-identical" `Slow (fresh test_differential) ]
+      );
+      ( "adaptive",
+        [
+          Alcotest.test_case "converges on the offline policy" `Quick
+            (fresh test_adaptive_convergence);
+        ] );
+    ]

@@ -5,6 +5,7 @@
 
      profview profile.json
      profview --top 20 profile.json
+     profview --sort survival profile.json
 
    Exit 0 on success; prints the failure and exits 1 otherwise. *)
 
@@ -17,17 +18,25 @@ let int_of v = int_of_float (num v)
 let str = function Some (J.Str s) -> s | _ -> ""
 let bool_of = function Some (J.Bool b) -> b | _ -> false
 
+let usage () =
+  prerr_endline "usage: profview [--top N] [--sort survived|survival] PROFILE.json";
+  exit 2
+
 let () =
-  let top, path =
-    match Array.to_list Sys.argv with
-    | [ _; "--top"; n; path ] -> (
-        match int_of_string_opt n with
-        | Some n when n > 0 -> (n, path)
-        | _ -> fail "--top wants a positive integer, got %s" n)
-    | [ _; path ] -> (10, path)
-    | _ ->
-        prerr_endline "usage: profview [--top N] PROFILE.json";
-        exit 2
+  let top, sort, path =
+    let rec parse top sort = function
+      | "--top" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> parse n sort rest
+          | _ -> fail "--top wants a positive integer, got %s" n)
+      | "--sort" :: key :: rest -> (
+          match key with
+          | "survived" | "survival" -> parse top key rest
+          | _ -> fail "--sort wants survived or survival, got %s" key)
+      | [ path ] -> (top, sort, path)
+      | _ -> usage ()
+    in
+    parse 10 "survived" (List.tl (Array.to_list Sys.argv))
   in
   let contents =
     try
@@ -67,33 +76,52 @@ let () =
           | _ -> ())
         [ "all"; "minor"; "full" ]
   | None -> ());
-  (* --- top sites by survived words --- *)
+  (* --- top sites --- *)
   let sites = Option.value ~default:[] (Option.bind (J.member "sites" doc) J.to_list) in
   let survived s =
     int_of (J.member "minor_survived_words" s) + int_of (J.member "full_survived_words" s)
   in
+  (* Completed-lifetime words — the sample mass behind a site's survival
+     rate. A site whose every object is still in flight (nothing has yet
+     survived a collection or died in one) has no rate at all, which is
+     not the same thing as 100%. *)
+  let samples s = survived s + int_of (J.member "dead_words" s) in
+  let rate s =
+    if samples s = 0 then None
+    else Some (float_of_int (survived s) /. float_of_int (samples s))
+  in
+  let key =
+    match sort with
+    | "survival" ->
+        (* Rate-sorted: sites with a measured rate first (highest rate,
+           then heaviest sample mass); unmeasured sites sink to the end. *)
+        fun s -> (Option.value ~default:(-1.0) (rate s), float_of_int (samples s))
+    | _ -> fun s -> (float_of_int (survived s), float_of_int (int_of (J.member "alloc_words" s)))
+  in
   let ranked =
     sites
     |> List.filter (fun s -> int_of (J.member "allocs" s) > 0)
-    |> List.sort (fun a b -> compare (survived b, int_of (J.member "alloc_words" b))
-                               (survived a, int_of (J.member "alloc_words" a)))
+    |> List.sort (fun a b -> compare (key b) (key a))
   in
-  Printf.printf "sites        : %d static, %d hit\n" (List.length sites) (List.length ranked);
+  Printf.printf "sites        : %d static, %d hit (sorted by %s)\n" (List.length sites)
+    (List.length ranked) sort;
   if ranked <> [] then begin
-    Printf.printf "%4s %-24s %9s %10s %10s %9s  %s\n" "id" "site" "allocs" "words"
-      "survived" "survival" "";
+    Printf.printf "%4s %-24s %9s %10s %10s %10s %9s  %s\n" "id" "site" "allocs" "words"
+      "survived" "samples" "survival" "";
     List.iteri
       (fun i s ->
         if i < top then
-          Printf.printf "%4d %-24s %9d %10d %10d %8.1f%%  %s\n"
+          Printf.printf "%4d %-24s %9d %10d %10d %10d %9s  %s\n"
             (int_of (J.member "id" s))
             (Printf.sprintf "%s:%d:%d" (str (J.member "proc" s))
                (int_of (J.member "line" s))
                (int_of (J.member "col" s)))
             (int_of (J.member "allocs" s))
             (int_of (J.member "alloc_words" s))
-            (survived s)
-            (100.0 *. num (J.member "survival_rate" s))
+            (survived s) (samples s)
+            (match rate s with
+            | None -> "-"
+            | Some r -> Printf.sprintf "%.1f%%" (100.0 *. r))
             (if bool_of (J.member "open_array" s) then "open" else ""))
       ranked
   end;
