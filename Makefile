@@ -11,8 +11,9 @@ FAULT_OUT := _build/fault-report.json
 PROFILE_OUT := _build/smoke.profile.json
 
 .PHONY: all build test test-verified test-gen test-switch test-workers \
-	test-pressure smoke fault profile check bench bench-perf bench-gen \
-	bench-mutator bench-pauses bench-copy bench-pressure bench-pgo clean
+	test-pressure test-incremental smoke fault profile check bench \
+	bench-perf bench-gen bench-mutator bench-pauses bench-copy \
+	bench-pressure bench-pgo bench-pause-budget clean
 
 all: build
 
@@ -55,6 +56,14 @@ test-workers: build
 # the heap verifier re-checking every post-resize heap.
 test-pressure: build
 	MM_HEAP_GROW=1 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
+
+# And in incremental mode: MM_GC_INCREMENTAL=1 flips every precise-
+# collector entry point onto the tri-color sliced mark-sweep collector
+# (same images, same gc-point tables, no pause budget so pacing is the
+# deterministic work quota), with the heap verifier — including the
+# tri-color invariant check — armed at every slice boundary.
+test-incremental: build
+	MM_GC_INCREMENTAL=1 MM_VERIFY_HEAP=1 $(DUNE) runtest --force
 
 smoke: build
 	$(DUNE) exec bin/mmrun.exe -- --heap 256 --trace $(TRACE_OUT) --metrics \
@@ -125,6 +134,13 @@ bench-pressure: build
 # and a >=30% cut in minor promotion; writes BENCH_8.json.
 bench-pgo: build
 	$(DUNE) exec bench/main.exe -- pgo
+
+# Incremental slicing vs stop-the-world pause distributions on
+# destroy-ballast and takl at pause budgets {100us, 500us, 2ms},
+# asserting byte-identical output/icount across every mode and reporting
+# the max-pause cut vs stw-flat; writes BENCH_9.json.
+bench-pause-budget: build
+	$(DUNE) exec bench/main.exe -- pause-budget
 
 clean:
 	$(DUNE) clean

@@ -98,6 +98,28 @@ let print_gc_stats ?placement () =
   pct_row "all" "gc.pause_ns";
   pct_row "minor" "gc.minor_pause_ns";
   pct_row "full" "gc.major_pause_ns";
+  pct_row "slice" "gc.slice_ns";
+  pct_row "flip" "gc.flip_ns";
+  (* Incremental mode: make budget violations visible at a glance. *)
+  let slices = T.Metrics.counter_value "gc.slices" in
+  if slices > 0 then begin
+    let budget = T.Metrics.counter_value "gc.budget_us" in
+    let max_slice_us =
+      match T.Metrics.find_histogram "gc.slice_ns" with
+      | Some h -> h.T.Metrics.h_max /. 1e3
+      | None -> 0.0
+    in
+    Printf.eprintf
+      "budget       : %s, max slice: %.1f us, overruns: %d\n"
+      (if budget > 0 then Printf.sprintf "%d us" budget else "none (work-paced)")
+      max_slice_us
+      (T.Metrics.counter_value "gc.slice_overruns");
+    Printf.eprintf
+      "incremental  : %d slices, %d forced STW finishes, %d mark-stack spills\n"
+      slices
+      (T.Metrics.counter_value "gc.forced_finish")
+      (T.Metrics.counter_value "gc.mark_spills")
+  end;
   if minors > 0 then begin
     let h name = T.Metrics.histogram name in
     let minor_pause = h "gc.minor_pause_ns" and major_pause = h "gc.major_pause_ns" in
@@ -180,9 +202,9 @@ let print_gc_stats ?placement () =
       (T.Metrics.counter_value "gc_pressure.worker_timeouts")
 
 let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collector
-    gen nursery gc_workers no_barrier_elim no_threaded gc_stats trace metrics
-    no_decode_cache verify_heap verify_pre profile census_every policy
-    pretenure_adaptive fuel =
+    gen incremental pause_budget nursery gc_workers no_barrier_elim no_threaded
+    gc_stats trace metrics no_decode_cache verify_heap verify_pre profile
+    census_every policy pretenure_adaptive fuel =
   if no_decode_cache then Gcmaps.Decode_cache.set_enabled false;
   (match gc_workers with Some n -> Gc.Gc_pool.set_workers n | None -> ());
   if no_threaded then Vm.Threaded.set_enabled false;
@@ -201,12 +223,33 @@ let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collec
   in
   let collector =
     match collector with
-    | "precise" -> if gen then Driver.Compile.Generational else Driver.Compile.Precise
+    | "precise" ->
+        if incremental && gen then begin
+          T.Log.warn_once
+            "--gen and --incremental both given: the incremental collector \
+             wins; drop --incremental for generational mode";
+          Driver.Compile.Incremental
+        end
+        else if incremental then Driver.Compile.Incremental
+        else if gen then Driver.Compile.Generational
+        else Driver.Compile.Precise
     | "generational" | "gen" -> Driver.Compile.Generational
+    | "incremental" | "inc" -> Driver.Compile.Incremental
     | "conservative" -> Driver.Compile.Conservative
     | "none" -> Driver.Compile.No_gc
     | other -> failwith ("unknown collector " ^ other)
   in
+  (* The parallel copy pool drives the moving collectors' copy phase; the
+     incremental collector marks in place on slices that are serial by
+     design, so extra workers would silently do nothing. Warn instead. *)
+  (if collector = Driver.Compile.Incremental || Gc.Incremental.env_enabled ()
+   then
+     match gc_workers with
+     | Some n when n > 1 ->
+         T.Log.warn_once
+           "--gc-workers > 1 has no effect with the incremental collector: \
+            slices run serially on the mutator; ignoring the worker pool"
+     | _ -> ());
   if gc_stats || metrics || trace <> None || profile <> None then T.Control.enable ();
   try
     let image = Driver.Compile.compile ~options (read_file file) in
@@ -224,7 +267,8 @@ let run file optimize checks no_gc_restrict heap heap_grow heap_max stack collec
     let pol = Option.map Driver.Compile.policy_of_file policy in
     let t0 = T.Control.now_ns () in
     let r =
-      Driver.Compile.run ~collector ?nursery_words:nursery ?profile:prof ~fuel
+      Driver.Compile.run ~collector ?nursery_words:nursery
+        ?pause_budget_us:pause_budget ?profile:prof ~fuel
         ?heap_grow:(if heap_grow then Some true else None)
         ?heap_max_words:heap_max ?policy:pol
         ?adaptive:(if pretenure_adaptive >= 1 then Some pretenure_adaptive else None)
@@ -320,6 +364,30 @@ let gen =
            same gc-point tables plus the remembered set, full compaction as \
            fallback. Same image, byte-identical tables. Shorthand for \
            --collector generational; also enabled by MM_GEN=1.")
+let incremental =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Incremental mode: tri-color mark-sweep collection in bounded \
+           slices at gc-points, with the existing write barrier acting as a \
+           Dijkstra insertion barrier. Non-moving; program output and \
+           instruction counts are byte-identical to the stop-the-world \
+           collectors. Shorthand for --collector incremental; also enabled \
+           by MM_GC_INCREMENTAL=1.")
+let pause_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pause-budget-us" ] ~docv:"MICROSECONDS"
+        ~doc:
+          "Hard wall-clock budget per incremental collection slice. When set, \
+           a slice stops at the deadline (checked every few scanned objects, \
+           so the documented slack is one scan granule) and remaining work \
+           carries to the next gc-point; overruns are counted and shown by \
+           --gc-stats. Without it, slices are paced by a deterministic work \
+           quota (the default: identical heap images across engines). Also \
+           set by MM_PAUSE_BUDGET_US.")
 let nursery =
   Arg.(
     value
@@ -436,8 +504,9 @@ let cmd =
     Term.(
       ret
         (const run $ file $ optimize $ checks $ no_gc_restrict $ heap $ heap_grow
-       $ heap_max $ stack $ collector $ gen $ nursery $ gc_workers $ no_barrier_elim
-       $ no_threaded $ gc_stats $ trace $ metrics $ no_decode_cache $ verify_heap
-       $ verify_pre $ profile $ census_every $ policy $ pretenure_adaptive $ fuel))
+       $ heap_max $ stack $ collector $ gen $ incremental $ pause_budget $ nursery
+       $ gc_workers $ no_barrier_elim $ no_threaded $ gc_stats $ trace $ metrics
+       $ no_decode_cache $ verify_heap $ verify_pre $ profile $ census_every
+       $ policy $ pretenure_adaptive $ fuel))
 
 let () = exit (Cmd.eval cmd)

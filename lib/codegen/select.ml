@@ -108,12 +108,19 @@ let temp_dst st t : I.operand * (unit -> unit) =
 
 let local_mem st l o = I.Mem (Machine.Reg.fp, Frame.local_off st.fr l + o)
 
-(* A heap store needs a generational write barrier iff the stored value may
-   be a tidy heap pointer (or derived from one) — NIL/immediates, scalars
-   and never-moving stack/static addresses cannot create old→young
-   references. Stores through a [Kstack] address target a frame or global
-   word, which the minor collection treats as a root, so they need no
-   barrier either. *)
+(* A heap store needs a write barrier iff the stored value may be a tidy
+   heap pointer (or derived from one) — NIL/immediates, scalars and
+   never-moving stack/static addresses cannot create old→young references.
+   Stores through a [Kstack] address target a frame or global word, which
+   the minor collection treats as a root, so they need no barrier either.
+   The same Wbar doubles as the incremental collector's insertion barrier
+   (shade the stored-to slot), and this predicate is sound for that
+   reading too: frame and global words are roots the final flip rescans,
+   and a NIL/scalar store cannot create a black→white edge. This is why
+   the incremental design is an insertion barrier rather than a deletion
+   (snapshot-at-the-beginning) barrier — NIL stores carry no Wbar here,
+   so an overwritten-pointer log would have a coverage hole, while the
+   insertion reading only ever needs the stores this predicate keeps. *)
 let store_needs_barrier st (a : Ir.operand) (v : Ir.operand) =
   (match a with
   | Ir.Otemp ta -> (

@@ -70,7 +70,7 @@ let image_of_mir ?(options = default_options) (prog : Mir.Ir.program) : Vm.Image
 let compile ?(options = default_options) (source : string) : Vm.Image.t =
   image_of_mir ~options (to_mir ~options source)
 
-type collector = Precise | Generational | Conservative | No_gc
+type collector = Precise | Generational | Incremental | Conservative | No_gc
 
 type run_result = {
   output : string;
@@ -135,8 +135,9 @@ let default_heap_max_words = 4_194_304
 (** Arm the adaptive-resize policy on a fresh interpreter state.
     [heap_grow]/[heap_max_words] come from flags; the environment
     switches act when the flags are absent. Only the moving collectors
-    resize: the conservative collector's free-list blocks and the no-gc
-    configuration have no post-collection safe point to resize at. *)
+    resize: the conservative and incremental collectors' free-list blocks
+    and the no-gc configuration have no post-collection safe point to
+    resize at. *)
 let arm_heap_policy ?heap_grow ?heap_max_words ~(collector : collector) st =
   let env_max = env_pos_int "MM_HEAP_MAX" in
   let grow =
@@ -159,8 +160,24 @@ let arm_heap_policy ?heap_grow ?heap_max_words ~(collector : collector) st =
   | Some n -> st.Vm.Interp.alloc_pressure_every <- n
   | None -> ()
 
-let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
-    ?heap_grow ?heap_max_words ?policy ?adaptive (image : Vm.Image.t) : run_result =
+let run ?(collector = Precise) ?nursery_words ?pause_budget_us ?profile
+    ?(fuel = 200_000_000) ?heap_grow ?heap_max_words ?policy ?adaptive
+    (image : Vm.Image.t) : run_result =
+  (* Environment mode switches are resolved up front so the heap policy
+     (which keys on whether the collector moves) sees the effective mode.
+     MM_GC_INCREMENTAL, like MM_GEN, flips every precise-collector entry
+     point; if both are set the incremental mode wins (it subsumes the
+     pause-latency motivation for the nursery). *)
+  let collector =
+    match collector with
+    | Precise when Gc.Incremental.env_enabled () ->
+        if Gc.Nursery.env_enabled () then
+          Telemetry.Log.warn_once
+            "MM_GEN and MM_GC_INCREMENTAL are both set: the incremental \
+             collector wins; unset MM_GC_INCREMENTAL for generational mode";
+        Incremental
+    | c -> c
+  in
   (* Fidelity note (§6.2): an image built with --no-gc-restrict may keep
      live pointers in forms the tables cannot describe; collecting while it
      runs can corrupt the heap. Warn whenever such output is executed under
@@ -208,6 +225,7 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
       if Gc.Nursery.env_enabled () then Gc.Nursery.install ?nursery_words st
       else Gc.Cheney.install st
   | Generational -> Gc.Nursery.install ?nursery_words st
+  | Incremental -> ignore (Gc.Incremental.install ?pause_budget_us st)
   | Conservative -> ignore (Gc.Conservative.install st)
   | No_gc -> ());
   (* Engine choice is a pure runtime switch over the same machine state:
@@ -227,7 +245,7 @@ let run ?(collector = Precise) ?nursery_words ?profile ?(fuel = 200_000_000)
   }
 
 (** Compile and run in one step (tests and examples). *)
-let run_source ?(options = default_options) ?collector ?nursery_words ?profile ?fuel
-    ?heap_grow ?heap_max_words ?policy ?adaptive source =
-  run ?collector ?nursery_words ?profile ?fuel ?heap_grow ?heap_max_words ?policy
-    ?adaptive (compile ~options source)
+let run_source ?(options = default_options) ?collector ?nursery_words ?pause_budget_us
+    ?profile ?fuel ?heap_grow ?heap_max_words ?policy ?adaptive source =
+  run ?collector ?nursery_words ?pause_budget_us ?profile ?fuel ?heap_grow
+    ?heap_max_words ?policy ?adaptive (compile ~options source)

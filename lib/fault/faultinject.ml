@@ -474,6 +474,109 @@ let runtime_sweep_all ?workers ?stall_ms ?deadline_ms ?storm_every
   List.map (runtime_sweep ?workers ?stall_ms ?deadline_ms ?storm_every) targets
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-collector interleaving faults                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental collector's bug surface is the interleaving: a slice
+   at the worst gc-point, a barrier flood, a mark stack too small to hold
+   the frontier. Each mode perturbs the slice schedule as far as the
+   engine allows and asserts the STW contract anyway: reference output
+   and instruction count (slices execute no guest instructions), with the
+   heap verifier — including its tri-color check — armed at every slice
+   boundary. The final heap image is NOT compared: a different slice
+   schedule legitimately frees and reuses blocks in a different order,
+   which is exactly why output/icount are the observable contract. *)
+
+type incremental_mode =
+  | Slice_storm (* force a slice at every gc-point *)
+  | Barrier_storm (* re-gray already-marked barrier targets *)
+  | Mark_spill of { cap : int } (* tiny mark stack: spill + rescan paths *)
+  | Tiny_budget of { us : int } (* wall-clock-truncated slices *)
+
+let incremental_mode_name = function
+  | Slice_storm -> "slice-storm"
+  | Barrier_storm -> "barrier-storm"
+  | Mark_spill { cap } -> Printf.sprintf "mark-spill(cap=%d)" cap
+  | Tiny_budget { us } -> Printf.sprintf "tiny-budget(%dus)" us
+
+let run_incremental_case ~reference ~ref_icount ~fuel img mode : outcome =
+  let st = Vm.Interp.create img in
+  let gray_cap = match mode with Mark_spill { cap } -> Some cap | _ -> None in
+  let pause_budget_us =
+    match mode with Tiny_budget { us } -> Some us | _ -> None
+  in
+  ignore
+    (Gc.Incremental.install ?gray_cap ?pause_budget_us
+       ~slice_storm:(mode = Slice_storm)
+       ~barrier_storm:(mode = Barrier_storm)
+       st);
+  match Vm.Interp.run ~fuel st with
+  | () ->
+      if Vm.Interp.output st = reference && st.Vm.Interp.icount = ref_icount
+      then Benign
+      else Diverged
+  | exception Vm.Vm_error.Error e -> (
+      match e with
+      | Vm.Vm_error.Verify_failed _ -> Verifier_flagged
+      | Vm.Vm_error.Out_of_fuel _ -> Hung
+      | _ -> Rejected_run)
+  | exception Vm.Interp.Guest_error _ -> Rejected_run
+  | exception e -> Crashed (Printexc.to_string e)
+
+(** Interleaving-fault sweep over one target under the incremental
+    collector, verifier armed. Expected outcome for every mode is
+    [Benign]; anything in the failure classes (including a verifier
+    flag) is a real interleaving bug. The heap is doubled relative to
+    the STW sweeps: the non-moving collector cannot compact, and the
+    fragmentation headroom keeps tiny-heap targets honest about testing
+    the schedule rather than the out-of-memory path. *)
+let incremental_sweep (target : target) : sweep =
+  let options =
+    { Driver.Compile.default_options with heap_words = target.t_heap * 2 }
+  in
+  let img = Driver.Compile.compile ~options target.t_source in
+  with_verifier @@ fun () ->
+  let fuel = 200_000_000 in
+  let reference, ref_icount =
+    let st = Vm.Interp.create img in
+    Gc.Cheney.install st;
+    Vm.Interp.run ~fuel st;
+    (Vm.Interp.output st, st.Vm.Interp.icount)
+  in
+  let cases =
+    [
+      Slice_storm;
+      Barrier_storm;
+      Mark_spill { cap = 1 };
+      Mark_spill { cap = 8 };
+      Tiny_budget { us = 50 };
+    ]
+  in
+  let counts = Hashtbl.create 8 in
+  let bump o = Hashtbl.replace counts o (1 + try Hashtbl.find counts o with Not_found -> 0) in
+  let failures = ref [] in
+  List.iter
+    (fun mode ->
+      let outcome = run_incremental_case ~reference ~ref_icount ~fuel img mode in
+      bump (outcome_name outcome);
+      match outcome with
+      | Crashed _ | Hung | Diverged | Verifier_flagged | Rejected_run ->
+          failures := { mutation = incremental_mode_name mode; outcome } :: !failures
+      | _ -> ())
+    cases;
+  {
+    program = target.t_name;
+    config = "incremental";
+    iterations = List.length cases;
+    counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [];
+    failures = List.rev !failures;
+  }
+
+(** The incremental interleaving matrix over the default targets. *)
+let incremental_sweep_all ?(targets = default_targets) () : sweep list =
+  List.map incremental_sweep targets
+
+(* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -38,9 +38,14 @@ let take (st : Vm.Interp.t) (p : Profile.t) =
     let a = ref lo in
     let ok = ref true in
     while !ok && !a < hi do
-      match object_size st !a with
-      | None -> ok := false
-      | Some (tdid, sz) ->
+      (* Incremental mode leaves filler blocks (negative headers) in the
+         live range; they hold no objects and are stepped over. *)
+      let header = st.Vm.Interp.mem.{!a} in
+      if header < 0 && st.Vm.Interp.inc <> None then a := !a - header
+      else
+        match object_size st !a with
+        | None -> ok := false
+        | Some (tdid, sz) ->
           incr objects;
           words := !words + sz;
           tally by_tdesc tdid sz;

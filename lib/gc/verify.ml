@@ -134,29 +134,42 @@ let walk_region c lo hi =
   try
     while !addr < hi do
       let header = mem.{!addr} in
-      if header < 0 || header >= Array.length layouts then begin
-        violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
-          (Array.length layouts - 1);
-        raise Exit
-      end;
-      let size =
-        match layouts.(header) with
-        | Rt.Typedesc.Lfixed { words; _ } -> words
-        | Rt.Typedesc.Lopen { elt_size; _ } ->
-            let length = mem.{!addr + 1} in
-            if length < 0 then begin
-              violate c "open array at %d has negative length %d" !addr length;
-              raise Exit
-            end;
-            Rt.Typedesc.open_header_words + (length * elt_size)
-      in
-      if size <= 0 || !addr + size > hi then begin
-        violate c "object at %d (size %d words) overruns the live region end %d" !addr size hi;
-        raise Exit
-      end;
-      Hashtbl.replace c.starts !addr size;
-      c.objects <- c.objects + 1;
-      addr := !addr + size
+      (* Incremental mode frees in place: a negative header [-size] is a
+         filler (free block), parsed but not an object. *)
+      if header < 0 && st.Vm.Interp.inc <> None then begin
+        let size = -header in
+        if !addr + size > hi then begin
+          violate c "filler at %d (size %d words) overruns the live region end %d" !addr size
+            hi;
+          raise Exit
+        end;
+        addr := !addr + size
+      end
+      else begin
+        if header < 0 || header >= Array.length layouts then begin
+          violate c "object at %d has header %d, not a type descriptor (0..%d)" !addr header
+            (Array.length layouts - 1);
+          raise Exit
+        end;
+        let size =
+          match layouts.(header) with
+          | Rt.Typedesc.Lfixed { words; _ } -> words
+          | Rt.Typedesc.Lopen { elt_size; _ } ->
+              let length = mem.{!addr + 1} in
+              if length < 0 then begin
+                violate c "open array at %d has negative length %d" !addr length;
+                raise Exit
+              end;
+              Rt.Typedesc.open_header_words + (length * elt_size)
+        in
+        if size <= 0 || !addr + size > hi then begin
+          violate c "object at %d (size %d words) overruns the live region end %d" !addr size hi;
+          raise Exit
+        end;
+        Hashtbl.replace c.starts !addr size;
+        c.objects <- c.objects + 1;
+        addr := !addr + size
+      end
     done
   with Exit -> c.walk_ok <- false
 
@@ -220,6 +233,22 @@ let walk_heap c =
           if c.walk_ok then walk_region c nb na
         end
 
+(* Mid-sweep, garbage objects above the cursor may legitimately point at
+   blocks already turned into fillers below it — they are dead, the
+   collector just has not reached them yet. Field checks are therefore
+   restricted to objects the flip proved live (marked) or allocated after
+   the flip (at or beyond the captured sweep limit). In every other phase
+   all parsed objects are checked: live objects never reference fillers
+   (inductively — a filler was garbage when created, so nothing live
+   pointed at it, and the mutator only stores pointers it derived from
+   live objects). *)
+let field_checkable c addr =
+  match c.st.Vm.Interp.inc with
+  | Some inc when inc.Vm.Interp.inc_phase = Vm.Interp.Inc_sweeping ->
+      addr >= inc.Vm.Interp.inc_sweep_limit
+      || Support.Bitset.mem inc.Vm.Interp.inc_marks (addr - c.st.Vm.Interp.from_base)
+  | _ -> true
+
 (* Second pass over the parsed objects: every pointer field must reference
    a valid target. Only meaningful when the parse completed. *)
 let check_heap_fields c =
@@ -228,6 +257,7 @@ let check_heap_fields c =
     let layouts = c.st.Vm.Interp.image.Vm.Image.layouts in
     Hashtbl.iter
       (fun addr _size ->
+        if field_checkable c addr then
         match layouts.(mem.{addr}) with
         | Rt.Typedesc.Lfixed { offsets; _ } ->
             Array.iter
@@ -245,6 +275,56 @@ let check_heap_fields c =
             end)
       c.starts
   end
+
+(* Tri-color invariant (incremental marking, checked at slice
+   boundaries): a black object — marked and no longer on the mark stack —
+   must not reference an unmarked (white) object. The insertion barrier
+   shades every stored pointer, so the only way to create a black→white
+   edge is a missing or wrongly eliminated barrier; this check catches it
+   at the first slice boundary instead of as a reclaimed-live-object
+   corruption after the flip. Skipped while the mark stack has spilled
+   (marked-but-unscanned objects are then indistinguishable from black);
+   under barrier-storm fault injection re-grayed black objects simply
+   land in the gray set and are skipped, which only weakens the check. *)
+let check_tricolor c =
+  match c.st.Vm.Interp.inc with
+  | Some inc
+    when inc.Vm.Interp.inc_phase = Vm.Interp.Inc_marking
+         && (not inc.Vm.Interp.inc_spilled)
+         && c.walk_ok ->
+      let st = c.st in
+      let mem = st.Vm.Interp.mem in
+      let layouts = st.Vm.Interp.image.Vm.Image.layouts in
+      let base = st.Vm.Interp.from_base in
+      let marked a = Support.Bitset.mem inc.Vm.Interp.inc_marks (a - base) in
+      let gray = Hashtbl.create 64 in
+      for i = 0 to inc.Vm.Interp.inc_gray_len - 1 do
+        Hashtbl.replace gray inc.Vm.Interp.inc_gray.(i) ()
+      done;
+      let in_from v = v >= base && v < st.Vm.Interp.alloc in
+      let check_edge addr a =
+        let v = mem.{a} in
+        if in_from v && not (marked v) then
+          violate c
+            "tri-color violation: black object at %d (word %d) points at unmarked %d" addr a
+            v
+      in
+      Hashtbl.iter
+        (fun addr _size ->
+          if marked addr && not (Hashtbl.mem gray addr) then
+            match layouts.(mem.{addr}) with
+            | Rt.Typedesc.Lfixed { offsets; _ } ->
+                Array.iter (fun o -> check_edge addr (addr + o)) offsets
+            | Rt.Typedesc.Lopen { elt_size; elt_offsets } ->
+                if Array.length elt_offsets > 0 then begin
+                  let length = mem.{addr + 1} in
+                  for i = 0 to length - 1 do
+                    let b = addr + Rt.Typedesc.open_header_words + (i * elt_size) in
+                    Array.iter (fun o -> check_edge addr (b + o)) elt_offsets
+                  done
+                end)
+        c.starts
+  | _ -> ()
 
 (* Generational invariant: every old-generation slot holding a nursery
    pointer must be covered — recorded in the remembered set by a write
@@ -391,6 +471,7 @@ let check (st : Vm.Interp.t) ~phase ~frames ?(derived = []) () : report =
   Telemetry.Trace.begin_span ~cat:"gc" "gc.verify";
   walk_heap c;
   check_heap_fields c;
+  check_tricolor c;
   check_old_young c;
   check_global_roots c;
   List.iter (check_frame_roots c) frames;

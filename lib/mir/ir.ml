@@ -79,11 +79,16 @@ type instr =
   | Load of temp * operand * int (* temp := M[addr + disp] *)
   | Store of operand * int * operand (* M[addr + disp] := value *)
   | Store_nb of operand * int * operand
-    (* heap store whose generational write barrier has been statically
-       eliminated: the target object is provably still nursery-resident
-       (allocated in this procedure with no intervening gc-point), so the
-       store cannot create an old→young reference. Produced only by
-       {!Opt.Barrier_elim}; identical to [Store] in every other respect. *)
+    (* heap store whose write barrier has been statically eliminated: the
+       target object is provably fresh (allocated in this procedure with
+       no intervening gc-point). The one Wbar serves two collectors, and
+       freshness discharges both at once: generationally the object is
+       still nursery-resident, so the store cannot create an old→young
+       reference; incrementally the object is still white (fresh objects
+       are allocated white and slices run only at gc-points), so the
+       store cannot create an unrecorded black→white edge. Produced only
+       by {!Opt.Barrier_elim}; identical to [Store] in every other
+       respect. *)
   | Call of temp option * callee * operand list
 
 type term =

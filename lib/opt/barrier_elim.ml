@@ -41,7 +41,22 @@
     instruction selection translates without a [Wbar]. The rewrite is
     purely an optimization: running the generational collector with this
     pass disabled is always sound, and the old→young verifier re-checks
-    the invariant behind the eliminated barriers at every collection. *)
+    the invariant behind the eliminated barriers at every collection.
+
+    {b Dual semantics.} [Wbar] is also the incremental collector's
+    insertion barrier (shade the stored-to slot, {!Gc.Incremental}), so a
+    barrier may be elided only if it is dead under {e both} readings. The
+    same freshness predicate proves both at once: the incremental
+    collector allocates {e white} during marking and takes slices only at
+    gc-points, so an object that has not crossed a gc-point since its
+    allocation is still white — a store into it cannot create the
+    black→white edge the insertion barrier exists to catch (a white
+    object's fields are scanned if and when the object itself is shaded).
+    The gc-point kill is exactly right for both collectors for the same
+    reason: a gc-point is where a minor collection could promote the
+    object, and also where a slice could shade it black. The tri-color
+    verifier re-checks the invariant behind every elided barrier at each
+    slice boundary, just as the old→young verifier does per collection. *)
 
 module Ir = Mir.Ir
 module Iset = Support.Ints.Iset

@@ -25,6 +25,8 @@ let mem t i =
   check t i;
   t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
 
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let popcount w =

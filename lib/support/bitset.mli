@@ -13,6 +13,12 @@ val set : t -> int -> unit
 val clear : t -> int -> unit
 val mem : t -> int -> bool
 
+(** Clear every bit in place, without allocating. Used by the incremental
+    collector to whiten the heap at cycle start: reallocating a heap-sized
+    bitset per cycle puts an OCaml-GC allocation spike inside the first
+    (budgeted) slice of every cycle. *)
+val reset : t -> unit
+
 val is_empty : t -> bool
 val count : t -> int
 

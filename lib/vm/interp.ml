@@ -108,6 +108,64 @@ type placement = {
   mutable pc_pool_words : int;
 }
 
+(* --- incremental (tri-color mark-sweep) collector state -------------- *)
+
+type inc_phase = Inc_idle | Inc_marking | Inc_sweeping
+
+(** Mutator-facing state of the incremental collector. Like {!gen_state}
+    this lives here (below the gc library) so the write barrier and the
+    allocation fast paths can reach it without an indirection; the slice
+    engine itself — marking, sweeping, the flip — is [Gc.Incremental],
+    installed through [collector] and the [inc_slice] hook.
+
+    Colors: an object is {e white} when its mark bit is clear, {e gray}
+    when marked and still on the work list, {e black} when marked and
+    scanned. Objects are allocated white even during marking — a fresh
+    object's stores may have had their barriers statically elided
+    ([Opt.Barrier_elim]), which is only sound if the fresh object is
+    guaranteed unscanned until the next gc-point (allocate-black would
+    leave an elided black→white edge unscanned). The final flip rescans
+    every root, which is what retains fresh objects held only in
+    registers or stack slots. *)
+type inc_state = {
+  mutable inc_phase : inc_phase;
+  mutable inc_marks : Support.Bitset.t; (* index: header addr - from_base *)
+  inc_gray : int array; (* fixed-capacity mark stack; overflow spills *)
+  mutable inc_gray_len : int;
+  mutable inc_spilled : bool; (* an overflowed push was dropped: some
+                                 marked objects are unqueued, so mark
+                                 termination needs a linear rescan *)
+  mutable inc_sweep_cursor : int;
+  mutable inc_sweep_limit : int; (* frontier captured at the flip *)
+  mutable inc_run_lo : int; (* open free run during sweep; -1 = none *)
+  (* pacing: marking/sweeping work is owed in proportion to allocation
+     ([inc_ratio] work units per allocated word), paid out in slices of
+     [inc_slice_work] units (deterministic mode) or clock-capped at
+     [inc_budget_ns] (time mode; 0 selects deterministic mode). *)
+  inc_ratio : int;
+  inc_trigger_words : int; (* start a cycle after this much allocation *)
+  inc_slice_work : int;
+  inc_budget_ns : int;
+  mutable inc_cycle_start_words : int; (* alloc_words at last cycle end *)
+  mutable inc_work_base : int; (* alloc_words at cycle start *)
+  mutable inc_work_done : int; (* work units paid this cycle *)
+  (* fault injection *)
+  mutable inc_slice_storm : bool; (* force a slice at every gc-point *)
+  mutable inc_barrier_storm : bool; (* re-gray already-marked barrier targets *)
+  (* statistics *)
+  mutable inc_cycles : int;
+  mutable inc_slices : int;
+  mutable inc_overruns : int;
+  mutable inc_forced : int;
+  mutable inc_max_slice_ns : int;
+  mutable inc_rescans : int;
+  mutable inc_barrier_execs : int;
+  mutable inc_spills : int;
+  mutable inc_marked_objects : int;
+  mutable inc_swept_objects : int;
+  mutable inc_swept_words : int;
+}
+
 type t = {
   image : Image.t;
   mutable mem : Mem.t; (* replaced (longer, same prefix) when the heap grows *)
@@ -136,6 +194,14 @@ type t = {
                                            non-moving conservative collector *)
   mutable collector : (t -> needed:int -> unit) option;
   mutable gen : gen_state option; (* Some iff running generationally *)
+  mutable inc : inc_state option; (* Some iff running incrementally *)
+  mutable inc_slice : (t -> unit) option;
+    (* gc-point slice poll, installed by Gc.Incremental; called at every
+       allocation and Rt_gc_check so both execution engines observe the
+       same pre-emption points (the paper's §5.3 loop-backedge gc-points) *)
+  mutable heap_fillers : bool;
+    (* free blocks carry a filler header (-size) so linear heap parses
+       stay total; on iff the incremental collector is installed *)
   mutable placement : placement option; (* profile-guided placement, if any *)
   mutable adaptive_after : int;
     (* derive a placement in-run from the attached profiler once this many
@@ -170,6 +236,9 @@ let create (image : Image.t) : t =
     free_list = [];
     collector = None;
     gen = None;
+    inc = None;
+    inc_slice = None;
+    heap_fillers = false;
     placement = None;
     adaptive_after = 0;
     on_alloc = None;
@@ -506,7 +575,16 @@ let take_free_list t size =
   let rec go acc = function
     | [] -> None
     | (a, sz) :: rest when sz >= size ->
-        let rest = if sz > size then (a + size, sz - size) :: rest else rest in
+        let rest =
+          if sz > size then begin
+            (* Under the incremental collector the unconsumed remainder
+               gets a filler header immediately, so the linear heap parse
+               (sweep cursor, verifier) stays total at every gc-point. *)
+            if t.heap_fillers then Mem.set t.mem (a + size) (-(sz - size));
+            (a + size, sz - size) :: rest
+          end
+          else rest
+        in
         t.free_list <- List.rev_append acc rest;
         Some a
     | entry :: rest -> go (entry :: acc) rest
@@ -666,6 +744,15 @@ let pool_filled_ranges t =
       !acc
 
 let rt_alloc t ?(site = -1) tdid ~length =
+  (* Incremental slice poll, strictly {e before} the new object exists:
+     a slice here may run the final flip, whose root rescan must see every
+     live object — the object about to be allocated is still held in no
+     register or stack slot, so allocating it first and flipping after
+     would let the sweep free it. Polling first means anything allocated
+     at an earlier gc-point is either visible to the exact tables or
+     genuinely dead, and the fresh object is born after any flip at this
+     gc-point (beyond the captured sweep limit). *)
+  (match t.inc_slice with Some f -> f t | None -> ());
   let lay = t.image.Image.layouts.(tdid) in
   let size = Rt.Typedesc.layout_words lay ~length in
   let a = allocate_placed t site size in
@@ -716,7 +803,10 @@ let exec_rt t (rc : Mir.Ir.rt_call) =
       t.regs.(Machine.Reg.ret) <- rt_alloc t ~site (arg 0) ~length:(arg 1)
   | Mir.Ir.Rt_gc_check ->
       if t.gc_check_forces then
-        (match t.collector with Some c -> c t ~needed:0 | None -> ())
+        (match t.collector with Some c -> c t ~needed:0 | None -> ());
+      (* Loop-backedge gc-points (§5.3) are the non-allocating pre-emption
+         opportunities of the incremental collector. *)
+      (match t.inc_slice with Some f -> f t | None -> ())
   | Mir.Ir.Rt_put_int -> Buffer.add_string t.out (string_of_int (arg 0))
   | Mir.Ir.Rt_put_char -> Buffer.add_char t.out (Char.chr (arg 0 land 0xff))
   | Mir.Ir.Rt_put_text ->
@@ -768,6 +858,69 @@ let wbar_record t (g : gen_state) a =
       g.remset_inserts <- g.remset_inserts + 1
     end
   end
+
+(* --- incremental marking primitives --------------------------------- *)
+
+(** Queue a marked object for scanning. On overflow the object stays
+    marked but unqueued and the spill flag is raised: mark termination
+    then requires a linear rescan of the marked heap ([Gc.Incremental]),
+    which terminates because marks only ever accumulate. *)
+let inc_push (inc : inc_state) v =
+  if inc.inc_gray_len >= Array.length inc.inc_gray then begin
+    inc.inc_spilled <- true;
+    inc.inc_spills <- inc.inc_spills + 1
+  end
+  else begin
+    inc.inc_gray.(inc.inc_gray_len) <- v;
+    inc.inc_gray_len <- inc.inc_gray_len + 1
+  end
+
+(** Shade a value gray: if it is a (tidy) pointer to an unmarked heap
+    object, mark it and queue it. Values outside the heap (NIL, globals,
+    static text) and already-marked objects are left alone. *)
+let inc_shade t (inc : inc_state) v =
+  if v >= t.from_base && v < t.alloc then begin
+    let i = v - t.from_base in
+    if not (Support.Bitset.mem inc.inc_marks i) then begin
+      Support.Bitset.set inc.inc_marks i;
+      inc.inc_marked_objects <- inc.inc_marked_objects + 1;
+      inc_push inc v
+    end
+  end
+
+(** The runtime half of the dual-purpose write barrier, shared by both
+    execution engines. [Wbar] is emitted after a pointer-valued store
+    against the stored slot's effective address, which serves two
+    semantics off the same instruction:
+
+    - {e generational} (SSB): record the slot in the remembered set if it
+      may now hold an old→young reference;
+    - {e incremental} (Dijkstra insertion barrier): the slot currently
+      holds exactly the just-stored pointer, so shading [mem[a]] shades
+      the new target — a black object can never come to point at an
+      unshaded white object, which is the tri-color invariant the marking
+      phase preserves.
+
+    The two modes never compose (see [Driver.Compile]); outside both the
+    barrier is two option tests. *)
+let barrier_hit t a =
+  (match t.gen with Some g -> wbar_record t g a | None -> ());
+  match t.inc with
+  | Some inc when inc.inc_phase = Inc_marking ->
+      inc.inc_barrier_execs <- inc.inc_barrier_execs + 1;
+      let v = read t a in
+      if
+        inc.inc_barrier_storm
+        && v >= t.from_base && v < t.alloc
+        && Support.Bitset.mem inc.inc_marks (v - t.from_base)
+      then
+        (* Barrier storm (fault injection): re-gray targets that are
+           already marked, flooding the work list with redundant entries
+           (scanning is idempotent, so this only stresses the queue and
+           its spill recovery). *)
+        inc_push inc v
+      else inc_shade t inc v
+  | _ -> ()
 
 let reset t =
   Array.fill t.regs 0 (Array.length t.regs) 0;
@@ -838,9 +991,7 @@ let step t =
       set_sp t (sp t + 1 + n);
       if ra = sentinel_ret then t.halted <- true else t.pc <- ra
   | I.Wbar o ->
-      (match t.gen with
-      | Some g -> wbar_record t g (addr_of t o)
-      | None -> ());
+      barrier_hit t (addr_of t o);
       t.pc <- t.pc + 1
   | I.Trap msg -> raise (Guest_error msg)
 

@@ -434,7 +434,10 @@ let compile_one (img : Image.t) ~pc (insn : I.t) : op =
       let fa = compile_addr o in
       fun t ->
         t.icount <- t.icount + 1;
-        (match t.gen with Some g -> wbar_record t g (fa t) | None -> ());
+        (* The shared dual-semantics barrier hook (SSB when generational,
+           insertion barrier when incremental) — identical to the switch
+           engine's [Wbar] case by construction. *)
+        barrier_hit t (fa t);
         t.pc <- next
   | I.Trap msg ->
       fun t ->

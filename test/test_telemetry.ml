@@ -248,7 +248,15 @@ let test_timer () =
 
 let test_end_to_end_gc_phases () =
   (* Optimized ambig under heap pressure: collections with live derived
-     values, so every phase of the pause does real work. *)
+     values, so every phase of the pause does real work. This test is
+     about the moving collector's four pause phases, so it pins the
+     stop-the-world compactor even when MM_GC_INCREMENTAL is exported
+     (the incremental collector's phase structure — slices and flips —
+     has its own accounting, checked in test_incremental). *)
+  let inc0 = Option.value ~default:"" (Sys.getenv_opt "MM_GC_INCREMENTAL") in
+  Unix.putenv "MM_GC_INCREMENTAL" "";
+  Fun.protect ~finally:(fun () -> Unix.putenv "MM_GC_INCREMENTAL" inc0)
+  @@ fun () ->
   let options =
     { Driver.Compile.default_options with optimize = true; heap_words = 300 }
   in

@@ -18,6 +18,11 @@
      post-collection verifier armed. The expected outcome is "recovered"
      (the serial round replay contained the fault with byte-identical
      results) or "benign" (the fault never triggered).
+   - Incremental interleaving faults (skip with --no-incremental): the
+     incremental collector's slice schedule is perturbed — a slice at
+     every gc-point, a barrier storm, a starved mark stack, a 50 us
+     wall-clock budget — and each run must still match the STW output
+     and instruction count with the tri-color verifier armed.
 
    Exit 0 iff no case crashed the runtime, hung it, flagged the verifier,
    or (under the cross-check) silently diverged; prints the failing cases
@@ -25,7 +30,7 @@
 
 let usage =
   "usage: faultgen [--iters N] [--seed N] [--out FILE.json] [--no-cross-check] \
-   [--no-runtime]"
+   [--no-runtime] [--no-incremental]"
 
 let () =
   let iters = ref 60 in
@@ -33,6 +38,7 @@ let () =
   let out = ref "" in
   let cross_check = ref true in
   let runtime = ref true in
+  let incremental = ref true in
   let rec parse = function
     | [] -> ()
     | "--iters" :: v :: rest ->
@@ -50,6 +56,9 @@ let () =
     | "--no-runtime" :: rest ->
         runtime := false;
         parse rest
+    | "--no-incremental" :: rest ->
+        incremental := false;
+        parse rest
     | arg :: _ ->
         prerr_endline ("faultgen: unknown argument " ^ arg);
         prerr_endline usage;
@@ -63,7 +72,10 @@ let () =
   let runtime_sweeps =
     if !runtime then Fault.Faultinject.runtime_sweep_all () else []
   in
-  let sweeps = table_sweeps @ runtime_sweeps in
+  let incremental_sweeps =
+    if !incremental then Fault.Faultinject.incremental_sweep_all () else []
+  in
+  let sweeps = table_sweeps @ runtime_sweeps @ incremental_sweeps in
   let total = List.fold_left (fun a (s : Fault.Faultinject.sweep) -> a + s.iterations) 0 sweeps in
   Printf.printf "%-14s %-18s %6s %s\n" "program" "config" "iters" "outcomes";
   List.iter
